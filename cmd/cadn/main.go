@@ -1,0 +1,198 @@
+// Command cadn runs the congested anonymous dynamic network counting
+// algorithm over a configurable adversary and prints the result and run
+// statistics.
+//
+// Usage examples:
+//
+//	go run ./cmd/cadn -n 8                         # random dynamic graph
+//	go run ./cmd/cadn -n 8 -topology path          # static path (worst diameter)
+//	go run ./cmd/cadn -n 8 -topology shifting-path # dynamic path adversary
+//	go run ./cmd/cadn -n 6 -T 4                    # 4-union-connected network
+//	go run ./cmd/cadn -n 6 -leaderless -inputs 0,0,1,1,1,2
+//	go run ./cmd/cadn -n 8 -halt                   # simultaneous termination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"anondyn"
+	"anondyn/internal/trace"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 8, "number of processes")
+		topology   = flag.String("topology", "random", "adversary: random, path, cycle, complete, star, rotating-star, shifting-path, bottleneck, isolator (adaptive)")
+		density    = flag.Float64("p", 0.3, "extra-edge probability for the random adversary")
+		seed       = flag.Int64("seed", 1, "adversary RNG seed")
+		blockT     = flag.Int("T", 1, "dynamic disconnectivity (T-union-connected extension)")
+		leaderless = flag.Bool("leaderless", false, "run the leaderless frequency algorithm (requires -inputs)")
+		inputsFlag = flag.String("inputs", "", "comma-separated input values, one per process (enables Generalized Counting)")
+		halt       = flag.Bool("halt", false, "simultaneous termination: all processes output n at the same round")
+		bitLimit   = flag.Int("bitlimit", 0, "abort if any message exceeds this many bits (0 = off)")
+		showTree   = flag.Bool("tree", false, "print the final virtual history tree")
+		fine       = flag.Bool("fine", false, "fine-grained resets (Section 5 'Optimized running time')")
+		batch      = flag.Int("batch", 0, "batch up to this many observations per Edge message (Section 6 tradeoff)")
+		keepAll    = flag.Bool("keepall", false, "ablation: disable the Section 3.4 spanning-tree restriction")
+		eager      = flag.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
+		traceFlag  = flag.Bool("trace", false, "print a per-round protocol trace and summary")
+	)
+	flag.Parse()
+	opts := protoOptions{
+		fine:    *fine,
+		batch:   *batch,
+		keepAll: *keepAll,
+		eager:   *eager,
+		trace:   *traceFlag,
+	}
+	if err := run(*n, *topology, *density, *seed, *blockT, *leaderless, *inputsFlag, *halt, *bitLimit, *showTree, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "cadn:", err)
+		os.Exit(1)
+	}
+}
+
+// protoOptions bundles the protocol variant flags.
+type protoOptions struct {
+	fine    bool
+	batch   int
+	keepAll bool
+	eager   bool
+	trace   bool
+}
+
+func run(n int, topology string, density float64, seed int64, blockT int,
+	leaderless bool, inputsFlag string, halt bool, bitLimit int, showTree bool,
+	opts protoOptions) error {
+	var sched anondyn.Schedule
+	if topology != "isolator" {
+		var err error
+		sched, err = makeSchedule(n, topology, density, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if blockT > 1 && sched != nil {
+		var err error
+		sched, err = anondyn.UnionConnected(sched, blockT)
+		if err != nil {
+			return err
+		}
+	}
+
+	inputs, err := makeInputs(n, inputsFlag, !leaderless)
+	if err != nil {
+		return err
+	}
+
+	cfg := anondyn.Config{
+		Mode:             anondyn.ModeLeader,
+		BuildInputLevel:  inputsFlag != "",
+		SimultaneousHalt: halt,
+		BlockT:           blockT,
+		MaxLevels:        3*n + 8,
+		FineGrainedReset: opts.fine,
+		BatchSize:        opts.batch,
+		KeepAllLinks:     opts.keepAll,
+		EagerTermination: opts.eager,
+	}
+	if leaderless {
+		cfg.Mode = anondyn.ModeLeaderless
+		cfg.DiamBound = n * blockT
+		cfg.SimultaneousHalt = false
+	}
+
+	runOpts := anondyn.RunOptions{BitLimit: bitLimit}
+	var logger *trace.Logger
+	if opts.trace {
+		logger = trace.New(os.Stdout)
+		runOpts.Trace = logger.Hook()
+	}
+	var res *anondyn.RunResult
+	if topology == "isolator" {
+		if leaderless {
+			return fmt.Errorf("the isolator adversary targets the leader; leaderless mode unsupported")
+		}
+		res, err = anondyn.RunAdaptive(anondyn.Isolator(n, 0), inputs, cfg, runOpts)
+	} else {
+		res, err = anondyn.Run(sched, inputs, cfg, runOpts)
+	}
+	if err != nil {
+		return err
+	}
+	if logger != nil {
+		fmt.Print(logger.Summary())
+	}
+
+	if leaderless {
+		fmt.Printf("frequencies (shares of minimal size %d):\n", res.Frequencies.MinSize)
+		for in, share := range res.Frequencies.Shares {
+			fmt.Printf("  input %s: %d/%d\n", in, share, res.Frequencies.MinSize)
+		}
+	} else {
+		fmt.Printf("n = %d\n", res.N)
+		if len(res.Multiset) > 0 {
+			fmt.Println("input multiset:")
+			for in, c := range res.Multiset {
+				fmt.Printf("  %s: %d\n", in, c)
+			}
+		}
+	}
+	fmt.Printf("rounds=%d levels=%d resets=%d finalDiamEstimate=%d\n",
+		res.Stats.Rounds, res.Stats.Levels, res.Stats.Resets, res.Stats.FinalDiamEstimate)
+	fmt.Printf("messages=%d maxMessageBits=%d totalBits=%d\n",
+		res.Stats.TotalMessages, res.Stats.MaxMessageBits, res.Stats.TotalBits)
+	if showTree && res.VHT != nil {
+		fmt.Println("virtual history tree:")
+		fmt.Print(anondyn.RenderTree(res.VHT))
+	}
+	return nil
+}
+
+func makeSchedule(n int, topology string, density float64, seed int64) (anondyn.Schedule, error) {
+	switch topology {
+	case "random":
+		return anondyn.RandomConnected(n, density, seed), nil
+	case "path":
+		return anondyn.Static(anondyn.Path(n)), nil
+	case "cycle":
+		return anondyn.Static(anondyn.Cycle(n)), nil
+	case "complete":
+		return anondyn.Static(anondyn.Complete(n)), nil
+	case "star":
+		return anondyn.Static(anondyn.Star(n, 0)), nil
+	case "rotating-star":
+		return anondyn.RotatingStar(n), nil
+	case "shifting-path":
+		return anondyn.ShiftingPath(n), nil
+	case "bottleneck":
+		return anondyn.Bottleneck(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topology)
+	}
+}
+
+func makeInputs(n int, inputsFlag string, withLeader bool) ([]anondyn.Input, error) {
+	inputs := make([]anondyn.Input, n)
+	if withLeader && n > 0 {
+		inputs[0].Leader = true
+	}
+	if inputsFlag == "" {
+		return inputs, nil
+	}
+	parts := strings.Split(inputsFlag, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-inputs has %d values for %d processes", len(parts), n)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-inputs value %d: %v", i, err)
+		}
+		inputs[i].Value = v
+	}
+	return inputs, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import "testing"
+
+func TestRunLeaderTopologies(t *testing.T) {
+	for _, topo := range []string{"random", "path", "cycle", "complete", "star",
+		"rotating-star", "shifting-path", "bottleneck", "isolator"} {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			err := run(5, topo, 0.3, 1 /* seed */, 1 /* T */, false /* leaderless */, "",
+				false /* halt */, 0 /* bitLimit */, true /* tree */, protoOptions{})
+			if err != nil {
+				t.Fatalf("run(%s): %v", topo, err)
+			}
+		})
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	tests := []struct {
+		name string
+		do   func() error
+	}{
+		{name: "leaderless", do: func() error {
+			return run(4, "random", 0.4, 2, 1, true, "0,0,1,1", false, 0, false, protoOptions{})
+		}},
+		{name: "generalized-halt", do: func() error {
+			return run(4, "random", 0.4, 2, 1, false, "5,6,6,7", true, 0, false, protoOptions{})
+		}},
+		{name: "union-connected", do: func() error {
+			return run(4, "random", 0.5, 3, 2, false, "", false, 0, false, protoOptions{})
+		}},
+		{name: "fine+batch+trace", do: func() error {
+			return run(5, "shifting-path", 0, 1, 1, false, "", false, 0, false,
+				protoOptions{fine: true, batch: 3, trace: true})
+		}},
+		{name: "keepall+eager", do: func() error {
+			return run(4, "random", 0.5, 4, 1, false, "", false, 0, false,
+				protoOptions{keepAll: true, eager: true})
+		}},
+		{name: "bitlimit-generous", do: func() error {
+			return run(4, "random", 0.4, 5, 1, false, "", false, 128, false, protoOptions{})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.do(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		do   func() error
+	}{
+		{name: "unknown-topology", do: func() error {
+			return run(4, "nonsense", 0.3, 1, 1, false, "", false, 0, false, protoOptions{})
+		}},
+		{name: "inputs-count-mismatch", do: func() error {
+			return run(4, "random", 0.3, 1, 1, false, "1,2", false, 0, false, protoOptions{})
+		}},
+		{name: "inputs-not-numeric", do: func() error {
+			return run(2, "random", 0.3, 1, 1, false, "a,b", false, 0, false, protoOptions{})
+		}},
+		{name: "isolator-leaderless", do: func() error {
+			return run(4, "isolator", 0.3, 1, 1, true, "0,0,1,1", false, 0, false, protoOptions{})
+		}},
+		{name: "bitlimit-too-small", do: func() error {
+			return run(4, "random", 0.3, 1, 1, false, "", false, 8, false, protoOptions{})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.do(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Command experiments regenerates every reproduction experiment (E1–E11 in
+// DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # run everything
+//	go run ./cmd/experiments -only E4   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anondyn/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
+	format := flag.String("format", "text", "output format: text or markdown")
+	flag.Parse()
+	if err := run(*only, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only, format string) error {
+	render := bench.Render
+	switch format {
+	case "text":
+	case "markdown":
+		render = bench.RenderMarkdown
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	for _, e := range bench.All() {
+		if only != "" && e.ID != only {
+			continue
+		}
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
+		}
+		fmt.Println(render(table))
+	}
+	return nil
+}

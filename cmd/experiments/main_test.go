@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperimentBothFormats(t *testing.T) {
+	if err := run("E1", "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("E1", "markdown"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	if err := run("E1", "csv"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

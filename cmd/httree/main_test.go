@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunFig1(t *testing.T) {
+	if err := run(true /* fig1 */, 0, 0, 0, 0, false /* dot */); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRandomASCIIAndDOT(t *testing.T) {
+	if err := run(false, 5, 6, 1, 0.4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, 5, 6, 1, 0.4, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package anondyn_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryExportedIdentifierIsDocumented walks all library source files
+// and asserts every exported declaration carries a doc comment — the
+// deliverable-(e) contract ("doc comments on every public item"). Command
+// and example mains are exempt (they export nothing by design), as are
+// test files.
+func TestEveryExportedIdentifierIsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	var missing []string
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "cmd" || name == "examples" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil && !isExemptMethod(dd) {
+					missing = append(missing, posOf(fset, dd.Pos())+" func "+dd.Name.Name)
+				}
+			case *ast.GenDecl:
+				missing = append(missing, checkGenDecl(fset, dd)...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}
+
+// checkGenDecl reports undocumented exported names in a const/var/type
+// block. A doc comment on the block covers all its specs; otherwise each
+// exported spec needs its own.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
+	if d.Doc != nil {
+		return nil
+	}
+	var missing []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				missing = append(missing, posOf(fset, s.Pos())+" type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					missing = append(missing, posOf(fset, s.Pos())+" value "+name.Name)
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// isExemptMethod exempts interface-compliance boilerplate whose meaning is
+// given by the interface: String, Error.
+func isExemptMethod(d *ast.FuncDecl) bool {
+	if d.Recv == nil {
+		return false
+	}
+	return d.Name.Name == "String" || d.Name.Name == "Error"
+}
+
+func posOf(fset *token.FileSet, p token.Pos) string {
+	pos := fset.Position(p)
+	return pos.Filename + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,91 @@
+package anondyn_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"anondyn"
+)
+
+// ExampleCount counts anonymous processes over a dynamic network with
+// O(log n)-bit messages.
+func ExampleCount() {
+	sched := anondyn.RandomConnected(6, 0.4, 7)
+	res, err := anondyn.Count(sched, anondyn.LeaderInputs(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.N)
+	// Output: 6
+}
+
+// ExampleCompute evaluates an arbitrary multi-aggregate function — here
+// the sum of all inputs — via Generalized Counting.
+func ExampleCompute() {
+	inputs := []anondyn.Input{
+		{Leader: true, Value: 4},
+		{Value: 10}, {Value: 10}, {Value: 1},
+	}
+	_, sum, err := anondyn.Compute(anondyn.RandomConnected(4, 0.5, 3), inputs,
+		func(ms map[anondyn.Input]int) any {
+			total := int64(0)
+			for in, c := range ms {
+				total += in.Value * int64(c)
+			}
+			return total
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sum)
+	// Output: 25
+}
+
+// ExampleRun_leaderless computes exact input frequencies without any
+// distinguished process, given a bound on the dynamic diameter.
+func ExampleRun_leaderless() {
+	inputs := []anondyn.Input{
+		{Value: 1}, {Value: 1}, {Value: 2}, {Value: 1}, {Value: 1}, {Value: 2},
+	}
+	res, err := anondyn.Run(anondyn.RandomConnected(6, 0.4, 11), inputs, anondyn.Config{
+		Mode:      anondyn.ModeLeaderless,
+		DiamBound: 6,
+	}, anondyn.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	type share struct {
+		value int64
+		num   int
+	}
+	var shares []share
+	for in, s := range res.Frequencies.Shares {
+		shares = append(shares, share{value: in.Value, num: s})
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].value < shares[j].value })
+	for _, s := range shares {
+		fmt.Printf("input %d: %d/%d\n", s.value, s.num, res.Frequencies.MinSize)
+	}
+	// Output:
+	// input 1: 2/3
+	// input 2: 1/3
+}
+
+// ExampleBuildHistoryTree builds the ground-truth history tree of a small
+// static network and prints its level sizes.
+func ExampleBuildHistoryTree() {
+	g := anondyn.Path(4)
+	run, err := anondyn.BuildHistoryTree(anondyn.Static(g), anondyn.LeaderInputs(4), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for l := 0; l <= run.Tree.Depth(); l++ {
+		fmt.Printf("level %d: %d classes\n", l, len(run.Tree.Level(l)))
+	}
+	// Output:
+	// level 0: 2 classes
+	// level 1: 4 classes
+	// level 2: 4 classes
+	// level 3: 4 classes
+}

@@ -1,0 +1,54 @@
+// Leaderless: opinion polling in a peer-to-peer network with no
+// distinguished node.
+//
+// A swarm of identical devices wants to know what fraction of its members
+// holds each opinion — without a coordinator, without IDs, and with
+// O(log n)-bit messages. Leaderless anonymous networks provably cannot
+// count themselves, but with a known bound D on the dynamic diameter they
+// can compute exact input frequencies (Section 5 of the paper; the
+// frequency-based functions are exactly the computable ones).
+//
+// Run with: go run ./examples/leaderless
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anondyn"
+)
+
+func main() {
+	// Nine devices voting A(0), B(1) or C(2): 3 : 5 : 1.
+	votes := []int64{0, 1, 1, 2, 0, 1, 1, 0, 1}
+	n := len(votes)
+
+	inputs := make([]anondyn.Input, n)
+	for i, v := range votes {
+		inputs[i].Value = v
+	}
+
+	// The devices know an upper bound on the dynamic diameter: any
+	// connected n-process network has dynamic diameter < n.
+	sched := anondyn.RotatingStar(n)
+	res, err := anondyn.Run(sched, inputs, anondyn.Config{
+		Mode:      anondyn.ModeLeaderless,
+		DiamBound: n,
+		MaxLevels: 3*n + 8,
+	}, anondyn.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := res.Frequencies
+	fmt.Printf("every device simultaneously computed (at round %d):\n",
+		res.Outputs[0].FinalRound)
+	names := map[int64]string{0: "A", 1: "B", 2: "C"}
+	for in, share := range f.Shares {
+		fmt.Printf("  option %s: %d/%d of the swarm\n", names[in.Value], share, f.MinSize)
+	}
+	fmt.Printf("the swarm size itself is unknowable without a leader: any multiple of %d fits\n",
+		f.MinSize)
+	fmt.Printf("protocol: %d rounds (bound O(D·n²) = %d), max message %d bits\n",
+		res.Stats.Rounds, n*n*n, res.Stats.MaxMessageBits)
+}

@@ -1,0 +1,95 @@
+// Package adversary provides reactive (strongly adaptive) network
+// adversaries: schedules that choose each round's multigraph after
+// inspecting the messages being sent. For the paper's deterministic
+// protocol an adaptive adversary is no more powerful than an oblivious one
+// in principle, but reactive adversaries are the natural way to express
+// worst cases — such as maximally delaying whichever message currently has
+// the highest broadcast priority.
+package adversary
+
+import (
+	"anondyn/internal/core"
+	"anondyn/internal/dynnet"
+	"anondyn/internal/engine"
+	"anondyn/internal/historytree"
+	"anondyn/internal/wire"
+)
+
+// Isolator is the worst-case adversary for priority broadcast: every round
+// it arranges the processes on a path with the current holders of the
+// highest-priority protocol message at one end and a designated target
+// process (the leader) at the other, so the top message crawls one hop per
+// round. It keeps the network connected at every round, as the Section 3
+// algorithm requires, so the protocol must still terminate — after driving
+// DiamEstimate to its Θ(n) ceiling (Lemma 4.7).
+type Isolator struct {
+	n      int
+	target int
+}
+
+var _ engine.AdaptiveSchedule = (*Isolator)(nil)
+
+// NewIsolator returns an isolating adversary for n processes that keeps
+// the given target process (usually the leader) farthest from the
+// highest-priority message.
+func NewIsolator(n, target int) *Isolator {
+	return &Isolator{n: n, target: target}
+}
+
+// N implements engine.AdaptiveSchedule.
+func (a *Isolator) N() int { return a.n }
+
+// Graph implements engine.AdaptiveSchedule.
+func (a *Isolator) Graph(_ int, sent []engine.Message) *dynnet.Multigraph {
+	// Rank the senders by the priority of their message; unknown or absent
+	// messages rank lowest.
+	top := -1
+	var topMsg wire.Message
+	for pid, raw := range sent {
+		m, ok := raw.(wire.Message)
+		if !ok {
+			continue
+		}
+		if top < 0 || core.Higher(m, topMsg) {
+			top, topMsg = pid, m
+		}
+	}
+
+	// Path layout: holders of the top message first, then the remaining
+	// processes, with the target at the far end.
+	holders := make([]int, 0, a.n)
+	middle := make([]int, 0, a.n)
+	for pid, raw := range sent {
+		if pid == a.target {
+			continue
+		}
+		m, ok := raw.(wire.Message)
+		if ok && top >= 0 && core.Compare(m, topMsg) == 0 {
+			holders = append(holders, pid)
+			continue
+		}
+		middle = append(middle, pid)
+	}
+	order := append(holders, middle...)
+	if a.target < a.n {
+		order = append(order, a.target)
+	}
+
+	g := dynnet.NewMultigraph(a.n)
+	for i := 0; i+1 < len(order); i++ {
+		g.MustAddLink(order[i], order[i+1], 1)
+	}
+	return g
+}
+
+// RunCountingUnderIsolator runs the leader-mode counting protocol against
+// the Isolator (process 0 as the targeted leader) and returns the core
+// result. It is a convenience wrapper used by tests, benchmarks, and
+// cmd/cadn.
+func RunCountingUnderIsolator(n int, cfg core.Config, opts core.RunOptions) (*core.RunResult, error) {
+	inputs := make([]historytree.Input, n)
+	if n > 0 {
+		inputs[0].Leader = true
+	}
+	return core.RunAdaptive(NewIsolator(n, 0), inputs, cfg, opts)
+}

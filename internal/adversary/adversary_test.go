@@ -1,0 +1,91 @@
+package adversary
+
+import (
+	"testing"
+
+	"anondyn/internal/core"
+	"anondyn/internal/engine"
+	"anondyn/internal/wire"
+)
+
+func TestIsolatorGraphsAreConnectedPaths(t *testing.T) {
+	a := NewIsolator(6, 0)
+	sent := []engine.Message{
+		wire.Null(), wire.Edge(1, 2, 3), wire.Null(), wire.Edge(1, 2, 3), wire.Done(5), nil,
+	}
+	g := a.Graph(1, sent)
+	if !g.Connected() {
+		t.Fatal("adversary must keep the network connected")
+	}
+	if g.LinkCount() != 5 {
+		t.Fatalf("path on 6 should have 5 links, got %d", g.LinkCount())
+	}
+	// The target (0) must be a path endpoint, and the top-message holders
+	// (1 and 3, holding the Edge) must occupy the other end.
+	if g.Degree(0) != 1 {
+		t.Errorf("target degree %d, want 1 (path endpoint)", g.Degree(0))
+	}
+	// Holders 1 and 3 must be adjacent to each other at the far end:
+	// exactly one of them is the other endpoint.
+	endpoints := 0
+	for _, pid := range []int{1, 3} {
+		if g.Degree(pid) == 1 {
+			endpoints++
+		}
+	}
+	if endpoints != 1 {
+		t.Errorf("expected exactly one holder at the far endpoint, got %d", endpoints)
+	}
+	if g.Neighbors(1)[3] == 0 && g.Neighbors(3)[1] == 0 {
+		t.Error("top-message holders should be contiguous on the path")
+	}
+}
+
+func TestCountingSurvivesIsolator(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		rec := core.NewRecorder()
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8, Recorder: rec}
+		res, err := RunCountingUnderIsolator(n, cfg, core.RunOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.N != n {
+			t.Fatalf("n=%d: counted %d", n, res.N)
+		}
+		if res.Stats.FinalDiamEstimate > 4*n {
+			t.Errorf("n=%d: final estimate %d exceeds 4n (Lemma 4.7)", n, res.Stats.FinalDiamEstimate)
+		}
+		t.Logf("n=%d: rounds=%d resets=%d finalDiam=%d",
+			n, res.Stats.Rounds, res.Stats.Resets, res.Stats.FinalDiamEstimate)
+	}
+}
+
+func TestIsolatorForcesWorstCaseDiameter(t *testing.T) {
+	// Against the isolator, the diameter estimate must be driven to ≥ n/2
+	// (the message has to cross the whole path), unlike on benign random
+	// graphs where it settles at 2–4.
+	n := 8
+	res, err := RunCountingUnderIsolator(n,
+		core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalDiamEstimate < n/2 {
+		t.Errorf("final estimate %d suspiciously small for an isolating adversary", res.Stats.FinalDiamEstimate)
+	}
+	if res.Stats.Resets < 2 {
+		t.Errorf("expected repeated resets, got %d", res.Stats.Resets)
+	}
+}
+
+func TestIsolatorWithFineGrainedResets(t *testing.T) {
+	n := 6
+	cfg := core.Config{Mode: core.ModeLeader, FineGrainedReset: true, MaxLevels: 3*n + 8}
+	res, err := RunCountingUnderIsolator(n, cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("counted %d", res.N)
+	}
+}

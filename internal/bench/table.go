@@ -1,0 +1,112 @@
+// Package bench defines the reproduction experiments E1–E11 of DESIGN.md:
+// one per figure, lemma, theorem, or comparison in the paper. Each
+// experiment runs the relevant systems and produces a Table whose rows are
+// recorded in EXPERIMENTS.md and printed by cmd/experiments; the root
+// bench_test.go exposes the same runs as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	// ID is the experiment identifier (E1..E11).
+	ID string
+	// Title names the experiment.
+	Title string
+	// Claim states what the paper claims (the "expected shape").
+	Claim string
+	// Header and Rows are the measured data.
+	Header []string
+	Rows   [][]string
+	// Notes carry caveats and derived observations.
+	Notes []string
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Name: "history tree of the Figure 1 example", Run: func() (*Table, error) { return E1Fig1() }},
+		{ID: "E2", Name: "rounds and levels vs n (Theorem 4.8)", Run: func() (*Table, error) { return E2RoundsVsN(nil) }},
+		{ID: "E3", Name: "message size vs n (Corollary 4.9)", Run: func() (*Table, error) { return E3MessageBits(nil) }},
+		{ID: "E4", Name: "red-edge amortization (Lemma 4.6)", Run: func() (*Table, error) { return E4RedEdges(nil) }},
+		{ID: "E5", Name: "diameter estimate and resets (Lemma 4.7)", Run: func() (*Table, error) { return E5DiamEstimate(nil) }},
+		{ID: "E6", Name: "congested vs non-congested tradeoff", Run: func() (*Table, error) { return E6Tradeoff(nil) }},
+		{ID: "E7", Name: "token-forwarding comparison", Run: func() (*Table, error) { return E7TokenForward(nil) }},
+		{ID: "E8", Name: "leaderless computation (Section 5)", Run: func() (*Table, error) { return E8Leaderless(nil) }},
+		{ID: "E9", Name: "T-union-connected networks (Section 5)", Run: func() (*Table, error) { return E9UnionConnected(nil) }},
+		{ID: "E10", Name: "virtual network construction (Figure 2)", Run: func() (*Table, error) { return E10Fig2() }},
+		{ID: "E11", Name: "simultaneous termination and Generalized Counting", Run: func() (*Table, error) { return E11Generalized(nil) }},
+		{ID: "E12", Name: "spanning-tree ablation (Section 3.4 design choice)", Run: func() (*Table, error) { return E12SpanningTreeAblation(nil) }},
+		{ID: "E13", Name: "batched-message tradeoff (Section 6)", Run: func() (*Table, error) { return E13BatchingTradeoff(nil) }},
+		{ID: "E14", Name: "strongly adaptive isolating adversary", Run: func() (*Table, error) { return E14AdaptiveAdversary(nil) }},
+	}
+}
+
+// RenderMarkdown formats the table as GitHub-flavoured markdown, the form
+// used in EXPERIMENTS.md.
+func RenderMarkdown(t *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "**Paper.** %s\n\n", t.Claim)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Render formats the table as aligned plain text.
+func Render(t *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/dynnet"
+	"anondyn/internal/historytree"
+)
+
+func TestKeepAllLinksStillCorrect(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		for _, mk := range map[string]func(int) dynnet.Schedule{
+			"random": func(n int) dynnet.Schedule { return dynnet.NewRandomConnected(n, 0.5, 6) },
+			"path":   func(n int) dynnet.Schedule { return dynnet.NewShiftingPath(n) },
+		} {
+			cfg := Config{Mode: ModeLeader, KeepAllLinks: true, MaxLevels: 3*n + 6}
+			res, err := Run(mk(n), leaderInputs(n), cfg, RunOptions{})
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if res.N != n {
+				t.Fatalf("n=%d: counted %d", n, res.N)
+			}
+		}
+	}
+}
+
+func TestKeepAllLinksLosesAmortization(t *testing.T) {
+	// On dense networks the pruned VHT must carry no more red edges
+	// (typically far fewer) than the unpruned one.
+	n := 9
+	s := dynnet.NewRandomConnected(n, 0.9, 12)
+	pruned, err := Run(s, leaderInputs(n), Config{Mode: ModeLeader, MaxLevels: 3*n + 6}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(s, leaderInputs(n),
+		Config{Mode: ModeLeader, KeepAllLinks: true, MaxLevels: 3*n + 6}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.N != n || full.N != n {
+		t.Fatalf("counts %d / %d", pruned.N, full.N)
+	}
+	pr := pruned.VHT.RedEdgeCount(pruned.Stats.Levels)
+	fr := full.VHT.RedEdgeCount(full.Stats.Levels)
+	t.Logf("red edges: pruned=%d full=%d; rounds: pruned=%d full=%d",
+		pr, fr, pruned.Stats.Rounds, full.Stats.Rounds)
+	if fr < pr {
+		t.Errorf("unpruned VHT has fewer red edges (%d) than pruned (%d)", fr, pr)
+	}
+}
+
+func TestBatchedEdgesCorrectAcrossSizes(t *testing.T) {
+	for _, batch := range []int{2, 4, 16} {
+		for _, n := range []int{3, 6, 9} {
+			cfg := Config{Mode: ModeLeader, BatchSize: batch, MaxLevels: 3*n + 6}
+			res, err := Run(dynnet.NewRandomConnected(n, 0.5, 9), leaderInputs(n), cfg, RunOptions{})
+			if err != nil {
+				t.Fatalf("batch=%d n=%d: %v", batch, n, err)
+			}
+			if res.N != n {
+				t.Fatalf("batch=%d n=%d: counted %d", batch, n, res.N)
+			}
+		}
+	}
+}
+
+func TestBatchingTradesBitsForRounds(t *testing.T) {
+	// Larger batches must not increase rounds, and must increase the
+	// maximum message size; batch≈n should need noticeably fewer rounds
+	// than batch=1 on dense networks (the Section 6 remark).
+	n := 10
+	s := dynnet.NewRandomConnected(n, 0.9, 4)
+	type out struct{ rounds, bits int }
+	results := make(map[int]out)
+	for _, batch := range []int{1, 4, 16} {
+		cfg := Config{Mode: ModeLeader, BatchSize: batch, KeepAllLinks: true, MaxLevels: 3*n + 6}
+		res, err := Run(s, leaderInputs(n), cfg, RunOptions{})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.N != n {
+			t.Fatalf("batch=%d: counted %d", batch, res.N)
+		}
+		results[batch] = out{rounds: res.Stats.Rounds, bits: res.Stats.MaxMessageBits}
+		t.Logf("batch=%2d: rounds=%d maxBits=%d", batch, res.Stats.Rounds, res.Stats.MaxMessageBits)
+	}
+	if results[16].rounds >= results[1].rounds {
+		t.Errorf("batch=16 used %d rounds, batch=1 used %d — batching should save rounds",
+			results[16].rounds, results[1].rounds)
+	}
+	if results[16].bits <= results[1].bits {
+		t.Errorf("batch=16 max bits %d not larger than batch=1's %d",
+			results[16].bits, results[1].bits)
+	}
+}
+
+func TestBatchingWithResetsAndGeneralized(t *testing.T) {
+	inputs := []historytree.Input{
+		{Leader: true}, {Value: 1}, {Value: 1}, {Value: 2}, {Value: 2}, {Value: 2}, {Value: 1},
+	}
+	n := len(inputs)
+	for _, fine := range []bool{false, true} {
+		cfg := Config{
+			Mode:             ModeLeader,
+			BatchSize:        4,
+			BuildInputLevel:  true,
+			FineGrainedReset: fine,
+			MaxLevels:        3*n + 8,
+		}
+		res, err := Run(dynnet.NewShiftingPath(n), inputs, cfg, RunOptions{})
+		if err != nil {
+			t.Fatalf("fine=%v: %v", fine, err)
+		}
+		if res.N != n {
+			t.Fatalf("fine=%v: counted %d", fine, res.N)
+		}
+		if res.Multiset[historytree.Input{Value: 1}] != 3 {
+			t.Fatalf("fine=%v: multiset %v", fine, res.Multiset)
+		}
+	}
+}
+
+func TestBatchConfigValidation(t *testing.T) {
+	cfg := Config{Mode: ModeLeader, BatchSize: -1}
+	if err := cfg.Validate(leaderInputs(3)); err == nil {
+		t.Fatal("negative BatchSize must be rejected")
+	}
+	for _, batch := range []int{0, 1} {
+		cfg := Config{Mode: ModeLeader, BatchSize: batch}
+		if cfg.keepAllLinks() {
+			t.Errorf("BatchSize=%d must not imply KeepAllLinks", batch)
+		}
+	}
+	cfg2 := Config{Mode: ModeLeader, BatchSize: 2}
+	if !cfg2.keepAllLinks() {
+		t.Error("BatchSize≥2 must imply KeepAllLinks")
+	}
+}
+
+func TestBatchedRunsMatchUnbatchedCount(t *testing.T) {
+	// Property-style sweep: batched and unbatched runs on the same
+	// schedule always agree on n.
+	for seed := int64(1); seed <= 6; seed++ {
+		n := 3 + int(seed)%6
+		s := dynnet.NewRandomConnected(n, 0.4, seed)
+		a, err := Run(s, leaderInputs(n), Config{Mode: ModeLeader, MaxLevels: 3*n + 6}, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(s, leaderInputs(n),
+			Config{Mode: ModeLeader, BatchSize: 8, MaxLevels: 3*n + 6}, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N != b.N {
+			t.Fatalf("seed=%d: unbatched %d vs batched %d", seed, a.N, b.N)
+		}
+	}
+}
+
+func ExampleConfig_batching() {
+	n := 8
+	s := dynnet.NewRandomConnected(n, 0.8, 1)
+	res, err := Run(s, leaderInputs(n),
+		Config{Mode: ModeLeader, BatchSize: n, MaxLevels: 3 * n}, RunOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.N)
+	// Output: 8
+}

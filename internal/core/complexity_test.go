@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"anondyn/internal/dynnet"
+	"anondyn/internal/historytree"
+)
+
+// TestRoundComplexityShapeGuard is the regression guard for Theorem 4.8's
+// shape: across the adversary suite, total rounds must stay within a fixed
+// constant times n³·log₂(4n) (real rounds; T=1). The constant is calibrated
+// with ample headroom over current measurements — the guard exists to catch
+// future regressions that break the asymptotic shape (e.g. an accidental
+// extra factor of n), not to pin exact numbers.
+func TestRoundComplexityShapeGuard(t *testing.T) {
+	const c = 40.0
+	adversaries := map[string]func(n int) dynnet.Schedule{
+		"random":        func(n int) dynnet.Schedule { return dynnet.NewRandomConnected(n, 0.3, 5) },
+		"shifting-path": func(n int) dynnet.Schedule { return dynnet.NewShiftingPath(n) },
+		"bottleneck":    func(n int) dynnet.Schedule { return dynnet.NewBottleneck(n) },
+		"static-path":   func(n int) dynnet.Schedule { return dynnet.NewStatic(dynnet.Path(n)) },
+	}
+	for name, mk := range adversaries {
+		for _, n := range []int{4, 8, 12} {
+			res, err := Run(mk(n), leaderInputs(n),
+				Config{Mode: ModeLeader, MaxLevels: 3*n + 8}, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			bound := c * float64(n*n*n) * math.Log2(float64(4*n))
+			if float64(res.Stats.Rounds) > bound {
+				t.Errorf("%s n=%d: %d rounds exceed the shape guard %.0f (= %g·n³·log₂4n)",
+					name, n, res.Stats.Rounds, bound, c)
+			}
+		}
+	}
+}
+
+// TestLeaderlessComplexityShapeGuard mirrors the guard for the Section 5
+// leaderless bound O(D·n²).
+func TestLeaderlessComplexityShapeGuard(t *testing.T) {
+	const c = 12.0
+	for _, n := range []int{4, 8, 12} {
+		ins := make([]historytree.Input, n)
+		for i := range ins {
+			ins[i].Value = int64(i % 2)
+		}
+		cfg := Config{Mode: ModeLeaderless, DiamBound: n, MaxLevels: 3*n + 8}
+		res, err := Run(dynnet.NewRandomConnected(n, 0.4, 3), ins, cfg, RunOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if bound := c * float64(n) * float64(n*n); float64(res.Stats.Rounds) > bound {
+			t.Errorf("n=%d: %d rounds exceed leaderless shape guard %.0f", n, res.Stats.Rounds, bound)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anondyn/internal/dynnet"
+	"anondyn/internal/historytree"
+)
+
+// TestQuickRandomSchedulesAndInputs is a property-based sweep: arbitrary
+// connected schedules (drawn per round from a seeded generator with random
+// density), arbitrary input assignments, and arbitrary protocol options —
+// Generalized Counting must always recover the exact multiset.
+func TestQuickRandomSchedulesAndInputs(t *testing.T) {
+	f := func(seed int64, nRaw, densityRaw, optBits uint8) bool {
+		n := 2 + int(nRaw%7)
+		rng := rand.New(rand.NewSource(seed))
+		density := float64(densityRaw) / 255
+
+		inputs := make([]historytree.Input, n)
+		inputs[rng.Intn(n)].Leader = true
+		for i := range inputs {
+			inputs[i].Value = int64(rng.Intn(3))
+		}
+		want := make(map[historytree.Input]int)
+		for _, in := range inputs {
+			want[in]++
+		}
+
+		cfg := Config{
+			Mode:             ModeLeader,
+			BuildInputLevel:  true,
+			FineGrainedReset: optBits&1 != 0,
+			SimultaneousHalt: false,
+			MaxLevels:        3*n + 10,
+		}
+		if optBits&2 != 0 {
+			cfg.BatchSize = 2 + int(optBits%5)
+		}
+		if optBits&4 != 0 {
+			cfg.KeepAllLinks = true
+		}
+
+		s := dynnet.NewRandomConnected(n, density, seed)
+		res, err := Run(s, inputs, cfg, RunOptions{})
+		if err != nil {
+			t.Logf("seed=%d n=%d opts=%d: %v", seed, n, optBits, err)
+			return false
+		}
+		if res.N != n {
+			t.Logf("seed=%d n=%d opts=%d: counted %d", seed, n, optBits, res.N)
+			return false
+		}
+		for in, c := range want {
+			if res.Multiset[in] != c {
+				t.Logf("seed=%d: multiset[%v]=%d want %d", seed, in, res.Multiset[in], c)
+				return false
+			}
+		}
+		return len(res.Multiset) == len(want)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLeaderlessFrequencies mirrors the sweep for the leaderless
+// algorithm: frequencies must equal the true ratios in lowest terms.
+func TestQuickLeaderlessFrequencies(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%7)
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([]historytree.Input, n)
+		counts := make(map[int64]int)
+		for i := range inputs {
+			v := int64(rng.Intn(2))
+			inputs[i].Value = v
+			counts[v]++
+		}
+		g := 0
+		for _, c := range counts {
+			g = gcdInt(g, c)
+		}
+		cfg := Config{Mode: ModeLeaderless, DiamBound: n, MaxLevels: 3*n + 10}
+		res, err := Run(dynnet.NewRandomConnected(n, rng.Float64(), seed), inputs, cfg, RunOptions{})
+		if err != nil {
+			t.Logf("seed=%d n=%d: %v", seed, n, err)
+			return false
+		}
+		if res.Frequencies == nil || !res.Frequencies.Known {
+			return false
+		}
+		if res.Frequencies.MinSize != n/g {
+			t.Logf("seed=%d: MinSize=%d want %d", seed, res.Frequencies.MinSize, n/g)
+			return false
+		}
+		for v, c := range counts {
+			if res.Frequencies.Shares[historytree.Input{Value: v}] != c/g {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargeNetworkLongRun exercises a bigger instance end to end.
+func TestLargeNetworkLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large run skipped in -short mode")
+	}
+	n := 20
+	res, err := Run(dynnet.NewRandomConnected(n, 0.2, 99), leaderInputs(n),
+		Config{Mode: ModeLeader, MaxLevels: 3*n + 10}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("counted %d", res.N)
+	}
+	t.Logf("n=%d: rounds=%d levels=%d maxBits=%d",
+		n, res.Stats.Rounds, res.Stats.Levels, res.Stats.MaxMessageBits)
+}
+
+// TestLeaderlessUnionConnected combines the two Section 5 extensions that
+// can coexist without a leader: known diameter bound and T-union
+// connectivity.
+func TestLeaderlessUnionConnected(t *testing.T) {
+	n, T := 6, 3
+	inner := dynnet.NewRandomConnected(n, 0.5, 3)
+	uc, err := dynnet.NewUnionConnected(inner, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]historytree.Input, n)
+	for i := range inputs {
+		inputs[i].Value = int64(i % 2)
+	}
+	cfg := Config{Mode: ModeLeaderless, DiamBound: n, BlockT: T, MaxLevels: 3*n + 10}
+	res, err := Run(uc, inputs, cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frequencies.MinSize != 2 {
+		t.Fatalf("MinSize=%d, want 2", res.Frequencies.MinSize)
+	}
+	if res.Frequencies.Shares[historytree.Input{Value: 0}] != 1 {
+		t.Fatalf("shares=%v", res.Frequencies.Shares)
+	}
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

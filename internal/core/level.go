@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"anondyn/internal/historytree"
+	"anondyn/internal/wire"
+)
+
+// setUpNewLevel is SetUpNewLevel (Listing 4 lines 1–19): exchange Begin
+// messages carrying IDs, record the observed (ID, multiplicity) pairs in
+// ObsList, and reinitialize the temporary VHT and level graph from the
+// previous VHT level. It returns restart=true when a foreign (non-Begin)
+// message revealed an error.
+func (p *Process) setUpNewLevel() (restart bool, err error) {
+	snap := snapshot{
+		myID:        p.myID,
+		nextFreshID: p.nextFreshID,
+		journalLen:  len(p.journal),
+		claimed:     p.claimed,
+	}
+	msgs, err := p.sendAndReceive(wire.Begin(int64(p.myID)))
+	if err != nil {
+		return false, err
+	}
+	sortMessages(msgs)
+
+	// Derive the observation list from the Begin messages received — even
+	// when a foreign message is present, so that a later fine-grained reset
+	// can resume this level from the snapshot ("by looking up the Begin
+	// messages received in the appropriate begin round, each process is
+	// also able to reconstruct its local ObsList", Section 5). Identical
+	// Begins group into (ID, multiplicity) pairs; our own ID is discarded
+	// and replaced by the cycle pair (MyID, 2).
+	counts := make(map[int]int, len(msgs))
+	for _, m := range msgs {
+		if m.Label == wire.LabelBegin {
+			counts[int(m.A)]++
+		}
+	}
+	p.obsList = p.obsList[:0]
+	for _, m := range msgs {
+		if m.Label != wire.LabelBegin {
+			continue
+		}
+		id := int(m.A)
+		if c, ok := counts[id]; ok && id != p.myID {
+			p.obsList = append(p.obsList, obs{id2: id, mult: c})
+		}
+		delete(counts, id)
+	}
+	p.obsList = append(p.obsList, obs{id2: p.myID, mult: 2})
+	snap.obsList = append([]obs(nil), p.obsList...)
+	p.snapshots[p.currentLevel] = snap
+
+	prev := p.vht.Level(p.currentLevel - 1)
+	ids := make([]int, len(prev))
+	for i, v := range prev {
+		ids[i] = v.ID
+	}
+	p.temp = newTempVHT(ids)
+	p.lg = newLevelGraph(ids)
+
+	// React to foreign messages last: a process in an error or reset phase
+	// may have injected one; respond to the highest-priority intruder.
+	var intruder wire.Message
+	haveIntruder := false
+	for _, m := range msgs {
+		if m.Label == wire.LabelBegin {
+			continue
+		}
+		if m.Label == wire.LabelHalt {
+			return false, p.haltForward(m)
+		}
+		if !haveIntruder || Higher(m, intruder) {
+			intruder, haveIntruder = m, true
+		}
+	}
+	if haveIntruder {
+		if err := p.handleError(intruder); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if p.recordPrimary() {
+		p.rec.noteBeginRound(p.tr.Round())
+	}
+	return false, nil
+}
+
+// makeVHTMessage is MakeVHTMessage (Listing 4 lines 21–35), extended with
+// the Section 6 batching tradeoff: with BatchSize ≥ 2, up to BatchSize
+// ObsList entries ride in a single Edge message; the follow-up entries
+// implicitly chain onto the fresh temporary nodes the leading ones create.
+func (p *Process) makeVHTMessage() wire.Message {
+	if len(p.obsList) == 0 {
+		if p.vht.NodeByID(p.myID) != nil {
+			return wire.End()
+		}
+		return wire.Done(int64(p.myID))
+	}
+	k := p.cfg.BatchSize
+	if k < 2 {
+		o := p.obsList[0]
+		return wire.Edge(int64(p.myID), int64(o.id2), int64(o.mult))
+	}
+	if k > len(p.obsList) {
+		k = len(p.obsList)
+	}
+	pairs := make([]wire.EdgePair, k)
+	for i, o := range p.obsList[:k] {
+		pairs[i] = wire.EdgePair{ID2: int64(o.id2), Mult: int64(o.mult)}
+	}
+	m, err := wire.EdgeBatch(int64(p.myID), pairs)
+	if err != nil {
+		// Unreachable: pairs is non-empty by construction.
+		return wire.Edge(int64(p.myID), int64(p.obsList[0].id2), int64(p.obsList[0].mult))
+	}
+	return m
+}
+
+// makeInputMessage is the level-0 analogue for Generalized Counting
+// (Section 5): claim the process's input until the claim is accepted, then
+// signal completion.
+func (p *Process) makeInputMessage() wire.Message {
+	if p.claimed {
+		return wire.End()
+	}
+	return wire.Input(int64(p.myID), p.input.Value, p.input.Leader)
+}
+
+// acceptInput applies an accepted Input message: create the level-0 node
+// for the claimed input class and, if this process made a matching claim,
+// adopt the fresh ID.
+func (p *Process) acceptInput(m wire.Message) error {
+	in := historytree.Input{Leader: m.C == 1, Value: m.B}
+	for _, v := range p.vht.Level(0) {
+		if v.Input == in {
+			return fmt.Errorf("core: input class %s accepted twice", in)
+		}
+	}
+	node, err := p.vht.AddChild(p.nextFreshID, p.vht.Root(), in)
+	if err != nil {
+		return err
+	}
+	p.nextFreshID++
+	if !p.claimed && p.myID == int(m.A) && p.input == in {
+		p.myID = node.ID
+		p.claimed = true
+	}
+	return nil
+}
+
+// updateTempVHT is UpdateTempVHT (Listing 5 lines 17–33): apply an accepted
+// red-edge triplet (id1, id2, mult) to the temporary VHT, adopt the fresh
+// ID if this process contributed the observation, extend the level graph,
+// and prune observations that would close cycles.
+func (p *Process) updateTempVHT(id1, id2, mult int) error {
+	root1 := p.temp.root(id1)
+	root2 := p.temp.root(id2)
+	if root1 == nil || root2 == nil {
+		return fmt.Errorf("core: accepted edge (%d,%d,%d) references unknown temp nodes", id1, id2, mult)
+	}
+	child, err := p.temp.addChild(p.nextFreshID, id1, root2.id, mult)
+	if err != nil {
+		return err
+	}
+	p.nextFreshID++
+	if p.myID == id1 {
+		if i := p.obsIndex(id2, mult); i >= 0 {
+			p.obsList = append(p.obsList[:i], p.obsList[i+1:]...)
+			p.myID = child.id
+		}
+	}
+	if p.cfg.keepAllLinks() {
+		// Ablation / batching mode: the virtual network keeps every link
+		// of the selected round, so no level-graph bookkeeping happens and
+		// no observation is ever pruned (the VHT loses the Lemma 4.6
+		// amortization but remains a valid history tree).
+		return nil
+	}
+	if root1.id != root2.id && !p.lg.hasEdge(root1.id, root2.id) {
+		if err := p.lg.addEdge(root1.id, root2.id); err != nil {
+			return err
+		}
+	}
+	p.preventCycles()
+	return nil
+}
+
+// preventCycles is PreventCyclesInLevelGraph (Listing 5 lines 7–15): drop
+// from ObsList every pair whose acceptance would close a cycle in the level
+// graph. Pairs within the process's own class (the C_v cycle) and pairs
+// whose class edge already exists are kept.
+func (p *Process) preventCycles() {
+	root := p.temp.root(p.myID)
+	if root == nil {
+		return
+	}
+	kept := p.obsList[:0]
+	for _, o := range p.obsList {
+		if o.id2 == root.id || p.lg.hasEdge(root.id, o.id2) || !p.lg.connected(root.id, o.id2) {
+			kept = append(kept, o)
+		}
+	}
+	p.obsList = kept
+}
+
+// updateVHT is UpdateVHT (Listing 5 lines 35–48): promote the temporary
+// node with the accepted Done ID into the VHT, attaching it under the VHT
+// node of its temp root and giving it all red edges along its temp path.
+func (p *Process) updateVHT(id int) error {
+	tempRoot := p.temp.root(id)
+	if tempRoot == nil {
+		return fmt.Errorf("core: accepted Done(%d) references unknown temp node", id)
+	}
+	parent := p.vht.NodeByID(tempRoot.id)
+	if parent == nil {
+		return fmt.Errorf("core: temp root %d has no VHT counterpart", tempRoot.id)
+	}
+	child, err := p.vht.AddChild(id, parent, historytree.Input{})
+	if err != nil {
+		return err
+	}
+	reds, err := p.temp.pathRedEdges(id)
+	if err != nil {
+		return err
+	}
+	for _, src := range sortedIntKeys(reds) {
+		srcNode := p.vht.NodeByID(src)
+		if srcNode == nil {
+			return fmt.Errorf("core: red edge source %d missing from VHT", src)
+		}
+		if err := p.vht.AddRed(child, srcNode, reds[src]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// obsIndex returns the index of the pair (id2, mult) in ObsList, or -1.
+func (p *Process) obsIndex(id2, mult int) int {
+	for i, o := range p.obsList {
+		if o.id2 == id2 && o.mult == mult {
+			return i
+		}
+	}
+	return -1
+}
+
+// recordPrimary reports whether this process is the designated recording
+// process (the leader, or process 0 in leaderless mode), so that global
+// counters are recorded exactly once.
+func (p *Process) recordPrimary() bool {
+	if p.cfg.Mode == ModeLeaderless {
+		return p.tr.PID() == 0
+	}
+	return p.input.Leader
+}
+
+func sortedIntKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

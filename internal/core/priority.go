@@ -1,0 +1,134 @@
+// Package core implements the paper's contribution: deterministic Counting
+// (and Generalized Counting) for congested anonymous dynamic networks, by
+// distributed construction of a virtual history tree (VHT).
+//
+// The implementation transcribes Listings 1–6 of the paper: temporary IDs,
+// per-level observation lists, a temporary VHT and auxiliary level graph, a
+// priority-based token-forwarding broadcast with leader acknowledgments,
+// and the self-stabilizing error/reset machinery with doubling diameter
+// estimates. The Section 5 extensions are included: Generalized Counting
+// via an input-built level 0, simultaneous termination via Halt messages,
+// leaderless computation with a known dynamic-diameter bound, and
+// T-union-connected networks via block simulation.
+package core
+
+import "anondyn/internal/wire"
+
+// band is the coarse priority class of a message label, per Section 3.2:
+//
+//	Null < Begin < End < Done < Edge/Input << Error/Reset << Halt
+//
+// Error and Reset messages interleave by level inside their shared band;
+// Halt (Section 5's termination broadcast) outranks everything.
+func band(l wire.Label) int {
+	switch l {
+	case wire.LabelNull:
+		return 0
+	case wire.LabelBegin:
+		return 1
+	case wire.LabelEnd:
+		return 2
+	case wire.LabelDone:
+		return 3
+	case wire.LabelEdge, wire.LabelEdgeBatch:
+		return 4
+	case wire.LabelInput:
+		return 5
+	case wire.LabelError, wire.LabelReset:
+		return 6
+	case wire.LabelHalt:
+		return 7
+	default:
+		return -1
+	}
+}
+
+// Compare returns -1, 0, or +1 as the priority of a is lower than, equal
+// to, or higher than that of b. The order is the paper's total preorder:
+//
+//   - Distinct labels compare by band.
+//   - Begin, End, Null and Halt messages within their band compare equal
+//     regardless of parameters (Begin priority "is independent of its
+//     parameter").
+//   - Done messages: smaller ID ⇒ higher priority (any agreed total order
+//     works; the paper's 2 + 1/ID formula is likewise decreasing in ID).
+//   - Edge messages: lexicographically smaller (ID1, ID2, Mult) ⇒ higher
+//     priority, matching the monotonicity of 1/(2^ID1·3^ID2·5^Mult).
+//   - Input messages: lexicographically smaller (ID, value, leader) ⇒
+//     higher priority.
+//   - Error/Reset: an Error with level k sits strictly between Reset k+1
+//     and Reset k; smaller levels have higher priority. This is realized by
+//     the score 2k for Reset k and 2k+1 for Error k, smaller score winning.
+func Compare(a, b wire.Message) int {
+	ba, bb := band(a.Label), band(b.Label)
+	if ba != bb {
+		return sign(ba - bb)
+	}
+	switch a.Label {
+	case wire.LabelNull, wire.LabelBegin, wire.LabelEnd, wire.LabelHalt:
+		return 0
+	case wire.LabelDone:
+		// Smaller ID wins.
+		return sign64(b.A - a.A)
+	case wire.LabelEdge, wire.LabelEdgeBatch, wire.LabelInput:
+		if a.A != b.A {
+			return sign64(b.A - a.A)
+		}
+		if a.B != b.B {
+			return sign64(b.B - a.B)
+		}
+		if a.C != b.C {
+			return sign64(b.C - a.C)
+		}
+		// Batched edges (Section 6 tradeoff): identical leading triplets
+		// tie-break on the batch payload; lexicographically smaller wins.
+		switch {
+		case a.Ext < b.Ext:
+			return 1
+		case a.Ext > b.Ext:
+			return -1
+		default:
+			return 0
+		}
+	case wire.LabelError, wire.LabelReset:
+		return sign64(errResetScore(b) - errResetScore(a))
+	default:
+		return 0
+	}
+}
+
+// errResetScore maps Error/Reset messages to the interleaved score where a
+// smaller score means higher priority.
+func errResetScore(m wire.Message) int64 {
+	if m.Label == wire.LabelReset {
+		return 2 * m.A
+	}
+	return 2*m.A + 1
+}
+
+// Higher reports whether a has strictly higher priority than b. It is the
+// test used by BroadcastStep (Listing 3 line 24): a received message
+// replaces the held one only when strictly greater.
+func Higher(a, b wire.Message) bool { return Compare(a, b) > 0 }
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sign64(x int64) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

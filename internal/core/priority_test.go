@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anondyn/internal/wire"
+)
+
+// randomMessage draws an arbitrary protocol message with small parameters.
+func randomMessage(rng *rand.Rand) wire.Message {
+	switch rng.Intn(9) {
+	case 0:
+		return wire.Null()
+	case 1:
+		return wire.Begin(int64(rng.Intn(20)))
+	case 2:
+		return wire.End()
+	case 3:
+		return wire.Done(int64(rng.Intn(20)))
+	case 4:
+		return wire.Edge(int64(rng.Intn(10)), int64(rng.Intn(10)), 1+int64(rng.Intn(5)))
+	case 5:
+		return wire.Error(int64(rng.Intn(8)))
+	case 6:
+		return wire.Reset(int64(rng.Intn(8)), int64(rng.Intn(100)), 1<<rng.Intn(5))
+	case 7:
+		return wire.Input(int64(rng.Intn(4)), int64(rng.Intn(4)), rng.Intn(2) == 0)
+	default:
+		return wire.Halt(int64(1+rng.Intn(10)), int64(rng.Intn(100)))
+	}
+}
+
+func TestCompareIsTotalPreorder(t *testing.T) {
+	// Antisymmetry of the strict part, transitivity, and totality, checked
+	// on random triples.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomMessage(rng), randomMessage(rng), randomMessage(rng)
+		// Antisymmetry: Compare(a,b) == -Compare(b,a).
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Transitivity of ≥: if a≥b and b≥c then a≥c.
+		if Compare(a, b) >= 0 && Compare(b, c) >= 0 && Compare(a, c) < 0 {
+			return false
+		}
+		// Reflexivity.
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityBandOrdering(t *testing.T) {
+	// Null < Begin < End < Done < Edge << Error/Reset << Halt, the chain of
+	// Section 3.2 (with Input slotted between Edge and the error band, and
+	// Halt on top per Section 5).
+	chain := []wire.Message{
+		wire.Null(),
+		wire.Begin(0),
+		wire.End(),
+		wire.Done(5),
+		wire.Edge(1, 2, 3),
+		wire.Input(1, 1, false),
+		wire.Error(3),
+		wire.Halt(4, 10),
+	}
+	for i := 0; i < len(chain); i++ {
+		for j := i + 1; j < len(chain); j++ {
+			if !Higher(chain[j], chain[i]) {
+				t.Errorf("%s should outrank %s", chain[j], chain[i])
+			}
+		}
+	}
+}
+
+func TestErrorResetInterleaving(t *testing.T) {
+	// Reset k+1 < Error k < Reset k, for every k (Section 3.2).
+	for k := int64(0); k < 6; k++ {
+		resetK1 := wire.Reset(k+1, 0, 2)
+		errK := wire.Error(k)
+		resetK := wire.Reset(k, 0, 2)
+		if !Higher(errK, resetK1) {
+			t.Errorf("Error(%d) must outrank Reset(%d)", k, k+1)
+		}
+		if !Higher(resetK, errK) {
+			t.Errorf("Reset(%d) must outrank Error(%d)", k, k)
+		}
+	}
+	// Smaller levels always outrank larger ones within each type.
+	if !Higher(wire.Error(1), wire.Error(5)) {
+		t.Error("Error(1) must outrank Error(5)")
+	}
+	if !Higher(wire.Reset(1, 0, 2), wire.Reset(5, 0, 2)) {
+		t.Error("Reset(1) must outrank Reset(5)")
+	}
+}
+
+func TestDonePriorityBySmallestID(t *testing.T) {
+	if !Higher(wire.Done(2), wire.Done(7)) {
+		t.Error("Done(2) must outrank Done(7)")
+	}
+	if Compare(wire.Done(4), wire.Done(4)) != 0 {
+		t.Error("equal Done messages must tie")
+	}
+}
+
+func TestEdgePriorityLexicographic(t *testing.T) {
+	tests := []struct {
+		hi, lo wire.Message
+	}{
+		{hi: wire.Edge(1, 9, 9), lo: wire.Edge(2, 0, 0)},
+		{hi: wire.Edge(1, 2, 9), lo: wire.Edge(1, 3, 0)},
+		{hi: wire.Edge(1, 2, 3), lo: wire.Edge(1, 2, 4)},
+	}
+	for _, tt := range tests {
+		if !Higher(tt.hi, tt.lo) {
+			t.Errorf("%s must outrank %s", tt.hi, tt.lo)
+		}
+	}
+	// Monotonicity matches the paper's 1/(2^a·3^b·5^c): strictly
+	// decreasing in every parameter.
+	if !Higher(wire.Edge(1, 1, 1), wire.Edge(1, 1, 2)) {
+		t.Error("smaller multiplicity must outrank")
+	}
+}
+
+func TestBeginPriorityIndependentOfParameter(t *testing.T) {
+	// "The priority of a Level-begin message is independent of its
+	// parameter."
+	if Compare(wire.Begin(0), wire.Begin(100)) != 0 {
+		t.Error("Begin priorities must not depend on the ID")
+	}
+}
+
+func TestBroadcastStepKeepsOwnOnTie(t *testing.T) {
+	// BroadcastStep replaces the held message only on strictly greater
+	// priority; Higher must therefore be false on ties.
+	m := wire.Begin(3)
+	if Higher(wire.Begin(9), m) {
+		t.Error("tie must not replace the held message")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import "sync"
+
+// Recorder collects instrumentation from a protocol run. All methods are
+// safe for concurrent use (processes run on separate goroutines) and all
+// are nil-receiver-safe, so production code paths can call them
+// unconditionally.
+//
+// Recording uses the engine's process indices, which are invisible to the
+// protocol logic itself; the recorder exists so tests can check global
+// invariants (Lemma 4.4's ID-to-cardinality consistency, Lemma 4.7's reset
+// bound) without altering protocol behaviour.
+type Recorder struct {
+	mu sync.Mutex
+
+	resets         int
+	acceptedEdges  int
+	acceptedDones  int
+	acceptedInputs int
+	levelsBuilt    int
+	beginRounds    []int
+	idsAtLevel     map[int]map[int]int // level → pid → ID when the level finished
+	diamHistory    []int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{idsAtLevel: make(map[int]map[int]int)}
+}
+
+func (r *Recorder) noteReset(newDiam int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resets++
+	r.diamHistory = append(r.diamHistory, newDiam)
+}
+
+func (r *Recorder) noteAccepted(label acceptKind) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch label {
+	case acceptEdge:
+		r.acceptedEdges++
+	case acceptDone:
+		r.acceptedDones++
+	case acceptInput:
+		r.acceptedInputs++
+	}
+}
+
+func (r *Recorder) noteBeginRound(round int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.beginRounds = append(r.beginRounds, round)
+}
+
+func (r *Recorder) noteLevelDone(level, pid, id int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.idsAtLevel[level] == nil {
+		r.idsAtLevel[level] = make(map[int]int)
+	}
+	r.idsAtLevel[level][pid] = id
+	if level+1 > r.levelsBuilt {
+		r.levelsBuilt = level + 1
+	}
+}
+
+type acceptKind int
+
+const (
+	acceptEdge acceptKind = iota + 1
+	acceptDone
+	acceptInput
+)
+
+// Resets returns the number of leader-initiated reset phases.
+func (r *Recorder) Resets() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resets
+}
+
+// DiamHistory returns the sequence of post-reset diameter estimates.
+func (r *Recorder) DiamHistory() []int {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.diamHistory...)
+}
+
+// Accepted returns the numbers of accepted Edge, Done, and Input messages
+// (counted once per acceptance, by the leader in leader mode and by
+// process 0's recording in leaderless mode).
+func (r *Recorder) Accepted() (edges, dones, inputs int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acceptedEdges, r.acceptedDones, r.acceptedInputs
+}
+
+// IDsAtLevel returns, for the given VHT level, the map from engine process
+// index to the temporary ID the process held when the level finished.
+func (r *Recorder) IDsAtLevel(level int) map[int]int {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]int, len(r.idsAtLevel[level]))
+	for pid, id := range r.idsAtLevel[level] {
+		out[pid] = id
+	}
+	return out
+}
+
+// BeginRounds returns the recorded begin-round numbers.
+func (r *Recorder) BeginRounds() []int {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.beginRounds...)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.noteReset(2)
+	r.noteAccepted(acceptEdge)
+	r.noteBeginRound(1)
+	r.noteLevelDone(1, 0, 5)
+	if r.Resets() != 0 || r.BeginRounds() != nil || r.DiamHistory() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+	if e, d, i := r.Accepted(); e+d+i != 0 {
+		t.Fatal("nil recorder must report zeros")
+	}
+	if r.IDsAtLevel(1) != nil {
+		t.Fatal("nil recorder must report nil IDs")
+	}
+}
+
+func TestRecorderConsistencyWithRun(t *testing.T) {
+	n := 6
+	rec := NewRecorder()
+	res, err := Run(dynnet.NewRandomConnected(n, 0.4, 13), leaderInputs(n),
+		Config{Mode: ModeLeader, MaxLevels: 3*n + 6, Recorder: rec}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("counted %d", res.N)
+	}
+
+	edges, dones, inputsAcc := rec.Accepted()
+	if inputsAcc != 0 {
+		t.Errorf("basic mode accepted %d Input messages", inputsAcc)
+	}
+	// Every node of levels 1..Levels was created by exactly one accepted
+	// Done (plus possibly some in levels later rolled back — resets only
+	// ever ADD to the accepted counters).
+	nodes := 0
+	for l := 1; l <= res.Stats.Levels; l++ {
+		nodes += len(res.VHT.Level(l))
+	}
+	if dones < nodes {
+		t.Errorf("accepted %d Done messages, but VHT has %d nodes above level 0", dones, nodes)
+	}
+	// Distinct red edges in the VHT cannot exceed accepted edge triplets
+	// (each triplet adds one temp node; a VHT node merges its chain).
+	if red := res.VHT.RedEdgeCount(res.Stats.Levels); edges < red {
+		t.Errorf("accepted %d Edge messages but VHT has %d red edges", edges, red)
+	}
+	// Begin rounds: at least one per completed level (more with resets),
+	// recorded by the leader only.
+	if got := len(rec.BeginRounds()); got < res.Stats.Levels {
+		t.Errorf("recorded %d begin rounds for %d levels", got, res.Stats.Levels)
+	}
+	// Diameter history doubles monotonically.
+	last := 0
+	for _, d := range rec.DiamHistory() {
+		if d <= last {
+			t.Errorf("diameter history not increasing: %v", rec.DiamHistory())
+			break
+		}
+		last = d
+	}
+	if rec.Resets() != len(rec.DiamHistory()) {
+		t.Errorf("resets=%d but %d history entries", rec.Resets(), len(rec.DiamHistory()))
+	}
+}
+
+func TestRecorderIDsCoverAllProcessesPerLevel(t *testing.T) {
+	n := 7
+	rec := NewRecorder()
+	res, err := Run(dynnet.NewShiftingPath(n), leaderInputs(n),
+		Config{Mode: ModeLeader, MaxLevels: 3*n + 6, Recorder: rec}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= res.Stats.Levels; l++ {
+		ids := rec.IDsAtLevel(l)
+		if len(ids) != n {
+			t.Fatalf("level %d: %d IDs recorded for %d processes", l, len(ids), n)
+		}
+		// Every recorded ID must name a node of that level.
+		for pid, id := range ids {
+			node := res.VHT.NodeByID(id)
+			if node == nil || node.Level != l {
+				t.Fatalf("level %d: process %d has ID %d not in that level", l, pid, id)
+			}
+		}
+	}
+}

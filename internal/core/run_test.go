@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"anondyn/internal/dynnet"
+	"anondyn/internal/historytree"
+)
+
+// leaderInputs returns n inputs with process 0 flagged as the leader.
+func leaderInputs(n int) []historytree.Input {
+	in := make([]historytree.Input, n)
+	if n > 0 {
+		in[0].Leader = true
+	}
+	return in
+}
+
+func TestCountingStaticTopologies(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		graph func(n int) *dynnet.Multigraph
+	}{
+		{name: "single", n: 1, graph: dynnet.Complete},
+		{name: "pair", n: 2, graph: dynnet.Path},
+		{name: "path4", n: 4, graph: dynnet.Path},
+		{name: "path7", n: 7, graph: dynnet.Path},
+		{name: "cycle6", n: 6, graph: dynnet.Cycle},
+		{name: "complete5", n: 5, graph: dynnet.Complete},
+		{name: "star6", n: 6, graph: func(n int) *dynnet.Multigraph { return dynnet.Star(n, 2) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := dynnet.NewStatic(tt.graph(tt.n))
+			res, err := Run(s, leaderInputs(tt.n), Config{Mode: ModeLeader, MaxLevels: 3*tt.n + 5}, RunOptions{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.N != tt.n {
+				t.Fatalf("counted n=%d, want %d (levels=%d rounds=%d resets=%d)",
+					res.N, tt.n, res.Stats.Levels, res.Stats.Rounds, res.Stats.Resets)
+			}
+			if err := res.VHT.Validate(); err != nil {
+				t.Errorf("VHT invalid: %v", err)
+			}
+			t.Logf("n=%d rounds=%d levels=%d resets=%d finalDiam=%d maxBits=%d",
+				tt.n, res.Stats.Rounds, res.Stats.Levels, res.Stats.Resets,
+				res.Stats.FinalDiamEstimate, res.Stats.MaxMessageBits)
+		})
+	}
+}
+
+func TestCountingDynamicSchedules(t *testing.T) {
+	schedules := []struct {
+		name string
+		mk   func(n int) dynnet.Schedule
+	}{
+		{name: "random", mk: func(n int) dynnet.Schedule { return dynnet.NewRandomConnected(n, 0.3, 11) }},
+		{name: "rotating-star", mk: func(n int) dynnet.Schedule { return dynnet.NewRotatingStar(n) }},
+		{name: "shifting-path", mk: func(n int) dynnet.Schedule { return dynnet.NewShiftingPath(n) }},
+		{name: "bottleneck", mk: func(n int) dynnet.Schedule { return dynnet.NewBottleneck(n) }},
+	}
+	for _, tt := range schedules {
+		for _, n := range []int{3, 5, 7} {
+			s := tt.mk(n)
+			res, err := Run(s, leaderInputs(n), Config{Mode: ModeLeader, MaxLevels: 3*n + 5}, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", tt.name, n, err)
+			}
+			if res.N != n {
+				t.Fatalf("%s n=%d: counted %d", tt.name, n, res.N)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// tempNode is a node of the temporary VHT (Listing 4 lines 14–17 and
+// Listing 5). Roots are copies of the previous VHT level's nodes; non-root
+// nodes are created by UpdateTempVHT, each carrying the single red edge
+// (redSrc × redMult) that distinguished it from its parent.
+type tempNode struct {
+	id      int
+	parent  *tempNode // nil for roots
+	redSrc  int       // ID of the previous-level node observed (non-roots)
+	redMult int
+}
+
+// tempVHT is the forest of temporary nodes used while a level is under
+// construction ("TempVHT" in the pseudocode).
+type tempVHT struct {
+	nodes map[int]*tempNode
+}
+
+// newTempVHT returns a forest whose roots are the given previous-level IDs.
+func newTempVHT(rootIDs []int) *tempVHT {
+	tv := &tempVHT{nodes: make(map[int]*tempNode, len(rootIDs))}
+	for _, id := range rootIDs {
+		tv.nodes[id] = &tempNode{id: id}
+	}
+	return tv
+}
+
+// node returns the node with the given ID, or nil.
+func (tv *tempVHT) node(id int) *tempNode { return tv.nodes[id] }
+
+// root returns the root of the tree containing the node with the given ID
+// (FindRoot in Listing 5). It returns nil if the ID is unknown.
+func (tv *tempVHT) root(id int) *tempNode {
+	n := tv.nodes[id]
+	if n == nil {
+		return nil
+	}
+	for n.parent != nil {
+		n = n.parent
+	}
+	return n
+}
+
+// addChild creates a child of the node with ID parentID, carrying the red
+// edge (redSrc × redMult), and returns it.
+func (tv *tempVHT) addChild(id, parentID, redSrc, redMult int) (*tempNode, error) {
+	parent := tv.nodes[parentID]
+	if parent == nil {
+		return nil, fmt.Errorf("core: temp VHT has no node %d", parentID)
+	}
+	if tv.nodes[id] != nil {
+		return nil, fmt.Errorf("core: temp VHT already has node %d", id)
+	}
+	child := &tempNode{id: id, parent: parent, redSrc: redSrc, redMult: redMult}
+	tv.nodes[id] = child
+	return child, nil
+}
+
+// pathRedEdges returns the red edges carried by the nodes on the path from
+// the node with the given ID up to (excluding) its root, i.e. the full set
+// of red edges the corresponding VHT node must receive (Listing 5 lines
+// 42–48). Repeated sources are accumulated.
+func (tv *tempVHT) pathRedEdges(id int) (map[int]int, error) {
+	n := tv.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("core: temp VHT has no node %d", id)
+	}
+	out := make(map[int]int)
+	for n.parent != nil {
+		out[n.redSrc] += n.redMult
+		n = n.parent
+	}
+	return out, nil
+}
+
+// levelGraph is the auxiliary graph on the previous level's nodes
+// ("LevelGraph"): it accumulates the accepted inter-class edges and must
+// remain a forest so that it converges to the spanning tree S of Section
+// 3.4. Cycle checks use a union-find structure alongside the edge set.
+type levelGraph struct {
+	parent map[int]int
+	edges  map[[2]int]bool
+}
+
+// newLevelGraph returns an edgeless graph on the given node IDs.
+func newLevelGraph(ids []int) *levelGraph {
+	lg := &levelGraph{
+		parent: make(map[int]int, len(ids)),
+		edges:  make(map[[2]int]bool),
+	}
+	for _, id := range ids {
+		lg.parent[id] = id
+	}
+	return lg
+}
+
+func (lg *levelGraph) find(x int) int {
+	for lg.parent[x] != x {
+		lg.parent[x] = lg.parent[lg.parent[x]]
+		x = lg.parent[x]
+	}
+	return x
+}
+
+// hasEdge reports whether {a, b} is already an edge.
+func (lg *levelGraph) hasEdge(a, b int) bool {
+	return lg.edges[edgeKey(a, b)]
+}
+
+// connected reports whether a and b are in the same component.
+func (lg *levelGraph) connected(a, b int) bool {
+	return lg.find(a) == lg.find(b)
+}
+
+// addEdge inserts edge {a, b}. Inserting an edge between already-connected
+// distinct components would create a cycle and is rejected with an error;
+// the protocol's accepted edges never do this (PreventCyclesInLevelGraph
+// removes the offending observations first).
+func (lg *levelGraph) addEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("core: self-edge %d in level graph", a)
+	}
+	if lg.hasEdge(a, b) {
+		return nil
+	}
+	if lg.connected(a, b) {
+		return fmt.Errorf("core: edge {%d,%d} would close a cycle in level graph", a, b)
+	}
+	lg.parent[lg.find(a)] = lg.find(b)
+	lg.edges[edgeKey(a, b)] = true
+	return nil
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

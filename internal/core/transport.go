@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"anondyn/internal/engine"
+	"anondyn/internal/wire"
+)
+
+// transport is the communication surface the protocol needs. It is
+// satisfied by *engine.Transport and wrapped by blockTransport for the
+// T-union-connected extension.
+type transport interface {
+	SendAndReceive(m engine.Message) ([]engine.Message, error)
+	Round() int
+	PID() int
+}
+
+var _ transport = (*engine.Transport)(nil)
+
+// blockTransport implements the Section 5 block simulation for
+// T-union-connected networks: each virtual round spans T real rounds during
+// which the process re-sends the same message and accumulates everything it
+// receives, then treats the union as a single delivery. Running the
+// unmodified protocol on top is equivalent to running it on the dynamic
+// network 𝒢* = (G*₁, G*₍T+1₎, …), which is connected.
+type blockTransport struct {
+	inner transport
+	t     int
+}
+
+var _ transport = (*blockTransport)(nil)
+
+func (b *blockTransport) SendAndReceive(m engine.Message) ([]engine.Message, error) {
+	var acc []engine.Message
+	for i := 0; i < b.t; i++ {
+		msgs, err := b.inner.SendAndReceive(m)
+		if err != nil {
+			return nil, err
+		}
+		acc = append(acc, msgs...)
+	}
+	return acc, nil
+}
+
+// Round returns the number of completed virtual rounds.
+func (b *blockTransport) Round() int { return b.inner.Round() / b.t }
+
+// PID forwards the engine process index (instrumentation only).
+func (b *blockTransport) PID() int { return b.inner.PID() }
+
+// sendAndReceive broadcasts a protocol message and converts the received
+// engine messages back to wire messages.
+func (p *Process) sendAndReceive(m wire.Message) ([]wire.Message, error) {
+	raw, err := p.tr.SendAndReceive(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.Message, len(raw))
+	for i, r := range raw {
+		wm, ok := r.(wire.Message)
+		if !ok {
+			return nil, fmt.Errorf("core: received non-protocol message %T", r)
+		}
+		out[i] = wm
+	}
+	return out, nil
+}
+
+// SizeOf measures protocol messages for the engine's congestion accounting.
+func SizeOf(m engine.Message) int {
+	wm, ok := m.(wire.Message)
+	if !ok {
+		return 0
+	}
+	return wire.SizeBits(wm)
+}

@@ -1,0 +1,264 @@
+// Package dynnet models dynamic networks of anonymous processes: undirected
+// multigraphs whose link sets are rearranged arbitrarily at every synchronous
+// round, as defined in Section 2 of Di Luna–Viglietta (PODC 2023).
+//
+// A dynamic network is an infinite sequence 𝒢 = (G_t) of multigraphs on the
+// same vertex set {0, …, n-1}. Multigraphs may contain parallel links and
+// self-loops; a self-loop represents a single link, i.e. a single message
+// sent and received by the same process. The package provides the multigraph
+// type itself, connectivity and union-connectivity checks, and a collection
+// of adversarial schedule generators used throughout the test and benchmark
+// suites.
+package dynnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Link is one (multi-)edge of a round multigraph. U and V are process
+// indices in [0, n); U == V denotes a self-loop. Mult is the number of
+// parallel links and must be positive.
+type Link struct {
+	U, V int
+	Mult int
+}
+
+// Multigraph is the communication graph of a single round: n processes and
+// a multiset of undirected links. The zero value is an empty graph on zero
+// processes.
+type Multigraph struct {
+	n     int
+	links []Link
+}
+
+// NewMultigraph returns an empty multigraph on n processes.
+// It panics if n is negative; a zero-process graph is allowed (and empty).
+func NewMultigraph(n int) *Multigraph {
+	if n < 0 {
+		panic(fmt.Sprintf("dynnet: negative process count %d", n))
+	}
+	return &Multigraph{n: n}
+}
+
+// N returns the number of processes.
+func (g *Multigraph) N() int { return g.n }
+
+// AddLink adds a link {u, v} with multiplicity mult. Adding the same pair
+// twice accumulates multiplicity. It returns an error if either endpoint is
+// out of range or mult is not positive.
+func (g *Multigraph) AddLink(u, v, mult int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("dynnet: link {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if mult <= 0 {
+		return fmt.Errorf("dynnet: non-positive multiplicity %d", mult)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	for i := range g.links {
+		if g.links[i].U == u && g.links[i].V == v {
+			g.links[i].Mult += mult
+			return nil
+		}
+	}
+	g.links = append(g.links, Link{U: u, V: v, Mult: mult})
+	return nil
+}
+
+// MustAddLink is AddLink for construction code with static arguments;
+// it panics on error.
+func (g *Multigraph) MustAddLink(u, v, mult int) {
+	if err := g.AddLink(u, v, mult); err != nil {
+		panic(err)
+	}
+}
+
+// Links returns a copy of the link multiset in canonical (U ≤ V, sorted)
+// order.
+func (g *Multigraph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// LinkCount returns the total number of links counted with multiplicity.
+func (g *Multigraph) LinkCount() int {
+	total := 0
+	for _, l := range g.links {
+		total += l.Mult
+	}
+	return total
+}
+
+// Neighbors returns, for process u, the multiset of neighbors as a map from
+// neighbor index to the number of links shared with u. A self-loop {u,u}
+// with multiplicity m contributes m to entry u (one message per loop).
+func (g *Multigraph) Neighbors(u int) map[int]int {
+	out := make(map[int]int)
+	for _, l := range g.links {
+		switch {
+		case l.U == u && l.V == u:
+			out[u] += l.Mult
+		case l.U == u:
+			out[l.V] += l.Mult
+		case l.V == u:
+			out[l.U] += l.Mult
+		}
+	}
+	return out
+}
+
+// Degree returns the number of incident links of u counted with
+// multiplicity. A self-loop counts once (one message delivered).
+func (g *Multigraph) Degree(u int) int {
+	d := 0
+	for nb, m := range g.Neighbors(u) {
+		_ = nb
+		d += m
+	}
+	return d
+}
+
+// Connected reports whether the multigraph is connected. The empty graph
+// and single-vertex graph are connected by convention.
+func (g *Multigraph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	adj := g.adjacency()
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Union returns a new multigraph whose link multiset is the union (with
+// accumulated multiplicities) of g and h. Both graphs must have the same
+// process count.
+func (g *Multigraph) Union(h *Multigraph) (*Multigraph, error) {
+	if g.n != h.n {
+		return nil, fmt.Errorf("dynnet: union of graphs with %d and %d processes", g.n, h.n)
+	}
+	out := NewMultigraph(g.n)
+	for _, l := range g.links {
+		if err := out.AddLink(l.U, l.V, l.Mult); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range h.links {
+		if err := out.AddLink(l.U, l.V, l.Mult); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Multigraph) Clone() *Multigraph {
+	out := NewMultigraph(g.n)
+	out.links = make([]Link, len(g.links))
+	copy(out.links, g.links)
+	return out
+}
+
+// String renders the graph as "n=4 {0-1 x2, 2-3}".
+func (g *Multigraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d {", g.n)
+	for i, l := range g.Links() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if l.Mult == 1 {
+			fmt.Fprintf(&b, "%d-%d", l.U, l.V)
+		} else {
+			fmt.Fprintf(&b, "%d-%d x%d", l.U, l.V, l.Mult)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// adjacency builds a simple adjacency list ignoring multiplicities and
+// self-loops (sufficient for connectivity).
+func (g *Multigraph) adjacency() [][]int {
+	adj := make([][]int, g.n)
+	for _, l := range g.links {
+		if l.U == l.V {
+			continue
+		}
+		adj[l.U] = append(adj[l.U], l.V)
+		adj[l.V] = append(adj[l.V], l.U)
+	}
+	return adj
+}
+
+// Path returns the path graph 0-1-…-(n-1).
+func Path(n int) *Multigraph {
+	g := NewMultigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddLink(i, i+1, 1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices (a double link for n = 2 and
+// a double self-loop for n = 1, matching the paper's degenerate cycles C_v).
+func Cycle(n int) *Multigraph {
+	g := NewMultigraph(n)
+	switch n {
+	case 0:
+	case 1:
+		g.MustAddLink(0, 0, 2)
+	case 2:
+		g.MustAddLink(0, 1, 2)
+	default:
+		for i := 0; i < n; i++ {
+			g.MustAddLink(i, (i+1)%n, 1)
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Multigraph {
+	g := NewMultigraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddLink(i, j, 1)
+		}
+	}
+	return g
+}
+
+// Star returns the star graph with the given center.
+func Star(n, center int) *Multigraph {
+	g := NewMultigraph(n)
+	for i := 0; i < n; i++ {
+		if i != center {
+			g.MustAddLink(center, i, 1)
+		}
+	}
+	return g
+}

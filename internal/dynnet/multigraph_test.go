@@ -1,0 +1,194 @@
+package dynnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMultigraphPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative n")
+		}
+	}()
+	NewMultigraph(-1)
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewMultigraph(3)
+	tests := []struct {
+		name    string
+		u, v, m int
+		wantErr bool
+	}{
+		{name: "ok", u: 0, v: 1, m: 1},
+		{name: "self-loop", u: 2, v: 2, m: 1},
+		{name: "u-negative", u: -1, v: 1, m: 1, wantErr: true},
+		{name: "v-too-big", u: 0, v: 3, m: 1, wantErr: true},
+		{name: "zero-mult", u: 0, v: 1, m: 0, wantErr: true},
+		{name: "negative-mult", u: 0, v: 1, m: -2, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddLink(tt.u, tt.v, tt.m)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("AddLink(%d,%d,%d) error = %v, wantErr %v", tt.u, tt.v, tt.m, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAddLinkAccumulatesAndCanonicalizes(t *testing.T) {
+	g := NewMultigraph(4)
+	g.MustAddLink(2, 1, 1)
+	g.MustAddLink(1, 2, 3)
+	links := g.Links()
+	if len(links) != 1 {
+		t.Fatalf("got %d link entries, want 1", len(links))
+	}
+	if links[0] != (Link{U: 1, V: 2, Mult: 4}) {
+		t.Fatalf("got %+v, want {1 2 4}", links[0])
+	}
+	if g.LinkCount() != 4 {
+		t.Fatalf("LinkCount=%d, want 4", g.LinkCount())
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := NewMultigraph(4)
+	g.MustAddLink(0, 1, 2)
+	g.MustAddLink(0, 2, 1)
+	g.MustAddLink(3, 3, 2) // double self-loop: two messages to itself
+
+	nb := g.Neighbors(0)
+	if nb[1] != 2 || nb[2] != 1 || len(nb) != 2 {
+		t.Fatalf("Neighbors(0) = %v", nb)
+	}
+	if g.Degree(0) != 3 {
+		t.Fatalf("Degree(0)=%d, want 3", g.Degree(0))
+	}
+	nb3 := g.Neighbors(3)
+	if nb3[3] != 2 {
+		t.Fatalf("Neighbors(3) = %v, want self-loop multiplicity 2", nb3)
+	}
+	if g.Degree(3) != 2 {
+		t.Fatalf("Degree(3)=%d, want 2", g.Degree(3))
+	}
+	if len(g.Neighbors(1)) != 1 {
+		t.Fatalf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Multigraph
+		want bool
+	}{
+		{name: "empty", g: NewMultigraph(0), want: true},
+		{name: "singleton", g: NewMultigraph(1), want: true},
+		{name: "two-isolated", g: NewMultigraph(2), want: false},
+		{name: "path", g: Path(5), want: true},
+		{name: "cycle", g: Cycle(6), want: true},
+		{name: "complete", g: Complete(4), want: true},
+		{name: "star", g: Star(5, 2), want: true},
+		{name: "self-loops-only", g: func() *Multigraph {
+			g := NewMultigraph(2)
+			g.MustAddLink(0, 0, 1)
+			g.MustAddLink(1, 1, 1)
+			return g
+		}(), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Connected(); got != tt.want {
+				t.Fatalf("Connected() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewMultigraph(3)
+	a.MustAddLink(0, 1, 1)
+	b := NewMultigraph(3)
+	b.MustAddLink(1, 2, 2)
+	b.MustAddLink(0, 1, 1)
+
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Connected() {
+		t.Error("union should be connected")
+	}
+	if u.LinkCount() != 4 {
+		t.Errorf("union LinkCount=%d, want 4", u.LinkCount())
+	}
+	// Mismatched sizes error.
+	if _, err := a.Union(NewMultigraph(4)); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	c.MustAddLink(0, 3, 5)
+	if g.LinkCount() == c.LinkCount() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestStandardTopologies(t *testing.T) {
+	// Cycle degeneracies from the paper: C_2 is a double link, C_1 a
+	// double self-loop; every cycle is 2-regular.
+	for n := 1; n <= 6; n++ {
+		c := Cycle(n)
+		for v := 0; v < n; v++ {
+			if d := c.Degree(v); d != 2 {
+				t.Errorf("Cycle(%d): degree(%d)=%d, want 2", n, v, d)
+			}
+		}
+	}
+	if got := Complete(5).LinkCount(); got != 10 {
+		t.Errorf("K5 has %d links, want 10", got)
+	}
+	if got := Star(5, 3).Degree(3); got != 4 {
+		t.Errorf("Star center degree %d, want 4", got)
+	}
+	if got := Path(1).LinkCount(); got != 0 {
+		t.Errorf("Path(1) has %d links", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := NewMultigraph(4)
+	g.MustAddLink(2, 3, 1)
+	g.MustAddLink(0, 1, 2)
+	if got, want := g.String(), "n=4 {0-1 x2, 2-3}"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRandomConnectedIsConnectedProperty(t *testing.T) {
+	f := func(nSeed uint8, pSeed uint8, seed int64) bool {
+		n := 1 + int(nSeed%20)
+		p := float64(pSeed) / 255
+		g := RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+		return g.N() == n && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinksReturnsCopy(t *testing.T) {
+	g := Path(3)
+	links := g.Links()
+	links[0].Mult = 99
+	if g.Links()[0].Mult == 99 {
+		t.Fatal("Links() exposes internal state")
+	}
+}

@@ -1,0 +1,306 @@
+package dynnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schedule is a dynamic network: an adversary that produces the
+// communication multigraph of every round t ≥ 1. Implementations must be
+// deterministic functions of t (randomized adversaries pre-commit via a
+// seeded RNG keyed on t) so that runs are reproducible and so that the
+// history-tree oracle and the protocol under test observe the same graphs.
+type Schedule interface {
+	// N returns the number of processes.
+	N() int
+	// Graph returns the communication multigraph of round t (t ≥ 1).
+	Graph(t int) *Multigraph
+}
+
+// StaticSchedule repeats a fixed multigraph at every round.
+type StaticSchedule struct {
+	g *Multigraph
+}
+
+var _ Schedule = (*StaticSchedule)(nil)
+
+// NewStatic returns a schedule that presents g at every round.
+func NewStatic(g *Multigraph) *StaticSchedule {
+	return &StaticSchedule{g: g.Clone()}
+}
+
+// N implements Schedule.
+func (s *StaticSchedule) N() int { return s.g.N() }
+
+// Graph implements Schedule.
+func (s *StaticSchedule) Graph(int) *Multigraph { return s.g.Clone() }
+
+// FuncSchedule adapts a plain function to the Schedule interface.
+type FuncSchedule struct {
+	n int
+	f func(t int) *Multigraph
+}
+
+var _ Schedule = (*FuncSchedule)(nil)
+
+// NewFunc returns a schedule backed by f. The function must return a graph
+// on exactly n processes for every t ≥ 1.
+func NewFunc(n int, f func(t int) *Multigraph) *FuncSchedule {
+	return &FuncSchedule{n: n, f: f}
+}
+
+// N implements Schedule.
+func (s *FuncSchedule) N() int { return s.n }
+
+// Graph implements Schedule.
+func (s *FuncSchedule) Graph(t int) *Multigraph { return s.f(t) }
+
+// SequenceSchedule plays a finite list of graphs and then repeats the last
+// one forever. It is convenient for reconstructing worked examples such as
+// Figure 1 of the paper.
+type SequenceSchedule struct {
+	graphs []*Multigraph
+}
+
+var _ Schedule = (*SequenceSchedule)(nil)
+
+// NewSequence returns a schedule that presents graphs[t-1] at round t and
+// the final graph at every later round. All graphs must share a process
+// count and the list must be non-empty.
+func NewSequence(graphs ...*Multigraph) (*SequenceSchedule, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("dynnet: empty graph sequence")
+	}
+	n := graphs[0].N()
+	cloned := make([]*Multigraph, len(graphs))
+	for i, g := range graphs {
+		if g.N() != n {
+			return nil, fmt.Errorf("dynnet: graph %d has %d processes, want %d", i, g.N(), n)
+		}
+		cloned[i] = g.Clone()
+	}
+	return &SequenceSchedule{graphs: cloned}, nil
+}
+
+// N implements Schedule.
+func (s *SequenceSchedule) N() int { return s.graphs[0].N() }
+
+// Graph implements Schedule.
+func (s *SequenceSchedule) Graph(t int) *Multigraph {
+	if t < 1 {
+		t = 1
+	}
+	if t > len(s.graphs) {
+		t = len(s.graphs)
+	}
+	return s.graphs[t-1].Clone()
+}
+
+// RandomConnectedSchedule presents, at each round, an independently drawn
+// connected Erdős–Rényi-style graph: a uniformly random spanning tree plus
+// each remaining pair with probability p. Each round's graph is derived
+// from the base seed and the round number, so the schedule is a pure
+// function of t.
+type RandomConnectedSchedule struct {
+	n    int
+	p    float64
+	seed int64
+}
+
+var _ Schedule = (*RandomConnectedSchedule)(nil)
+
+// NewRandomConnected returns a random connected schedule on n processes
+// with extra-edge probability p ∈ [0, 1].
+func NewRandomConnected(n int, p float64, seed int64) *RandomConnectedSchedule {
+	return &RandomConnectedSchedule{n: n, p: p, seed: seed}
+}
+
+// N implements Schedule.
+func (s *RandomConnectedSchedule) N() int { return s.n }
+
+// Graph implements Schedule.
+func (s *RandomConnectedSchedule) Graph(t int) *Multigraph {
+	rng := rand.New(rand.NewSource(s.seed*1000003 + int64(t)))
+	return RandomConnected(s.n, s.p, rng)
+}
+
+// RandomConnected draws one connected graph on n vertices: a random
+// spanning tree (random attachment) plus every remaining pair independently
+// with probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Multigraph {
+	g := NewMultigraph(n)
+	if n <= 1 {
+		return g
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach perm[i] to a uniformly random earlier vertex: a random
+		// recursive tree, which has expected diameter Θ(log n).
+		j := perm[rng.Intn(i)]
+		g.MustAddLink(perm[i], j, 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddLink(u, v, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RotatingStarSchedule presents a star whose center rotates every round.
+// Its dynamic diameter is 2, but process degrees change constantly, which
+// churns the indistinguishability classes.
+type RotatingStarSchedule struct {
+	n int
+}
+
+var _ Schedule = (*RotatingStarSchedule)(nil)
+
+// NewRotatingStar returns the rotating-star schedule on n processes.
+func NewRotatingStar(n int) *RotatingStarSchedule {
+	return &RotatingStarSchedule{n: n}
+}
+
+// N implements Schedule.
+func (s *RotatingStarSchedule) N() int { return s.n }
+
+// Graph implements Schedule.
+func (s *RotatingStarSchedule) Graph(t int) *Multigraph {
+	if s.n == 0 {
+		return NewMultigraph(0)
+	}
+	return Star(s.n, t%s.n)
+}
+
+// ShiftingPathSchedule presents a path over a permutation of the processes
+// that rotates each round. Paths have dynamic diameter Θ(n): the slowest
+// reasonable topology, which stresses DiamEstimate doubling.
+type ShiftingPathSchedule struct {
+	n int
+}
+
+var _ Schedule = (*ShiftingPathSchedule)(nil)
+
+// NewShiftingPath returns the shifting-path schedule on n processes.
+func NewShiftingPath(n int) *ShiftingPathSchedule {
+	return &ShiftingPathSchedule{n: n}
+}
+
+// N implements Schedule.
+func (s *ShiftingPathSchedule) N() int { return s.n }
+
+// Graph implements Schedule.
+func (s *ShiftingPathSchedule) Graph(t int) *Multigraph {
+	g := NewMultigraph(s.n)
+	if s.n <= 1 {
+		return g
+	}
+	for i := 0; i+1 < s.n; i++ {
+		u := (i + t) % s.n
+		v := (i + 1 + t) % s.n
+		g.MustAddLink(u, v, 1)
+	}
+	return g
+}
+
+// BottleneckSchedule joins two cliques by a single bridge whose endpoint
+// pair rotates each round. Information crosses the bridge one round at a
+// time, producing large effective diameters relative to edge density.
+type BottleneckSchedule struct {
+	n int
+}
+
+var _ Schedule = (*BottleneckSchedule)(nil)
+
+// NewBottleneck returns the two-clique bottleneck schedule on n processes
+// (n ≥ 2).
+func NewBottleneck(n int) *BottleneckSchedule {
+	return &BottleneckSchedule{n: n}
+}
+
+// N implements Schedule.
+func (s *BottleneckSchedule) N() int { return s.n }
+
+// Graph implements Schedule.
+func (s *BottleneckSchedule) Graph(t int) *Multigraph {
+	g := NewMultigraph(s.n)
+	if s.n <= 1 {
+		return g
+	}
+	half := s.n / 2
+	for i := 0; i < half; i++ {
+		for j := i + 1; j < half; j++ {
+			g.MustAddLink(i, j, 1)
+		}
+	}
+	for i := half; i < s.n; i++ {
+		for j := i + 1; j < s.n; j++ {
+			g.MustAddLink(i, j, 1)
+		}
+	}
+	// One rotating bridge link.
+	left := t % half
+	right := half + t%(s.n-half)
+	g.MustAddLink(left, right, 1)
+	return g
+}
+
+// UnionConnectedSchedule wraps an inner connected schedule so that the
+// network is only T-union-connected: the links of each inner round are
+// partitioned across T consecutive real rounds (round-robin by link index),
+// so no single round need be connected, but the union of any T consecutive
+// rounds contains a full inner graph.
+type UnionConnectedSchedule struct {
+	inner Schedule
+	t     int
+}
+
+var _ Schedule = (*UnionConnectedSchedule)(nil)
+
+// NewUnionConnected returns a T-union-connected schedule derived from
+// inner. T must be positive.
+func NewUnionConnected(inner Schedule, t int) (*UnionConnectedSchedule, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("dynnet: non-positive disconnectivity T=%d", t)
+	}
+	return &UnionConnectedSchedule{inner: inner, t: t}, nil
+}
+
+// N implements Schedule.
+func (s *UnionConnectedSchedule) N() int { return s.inner.N() }
+
+// T returns the dynamic disconnectivity of the schedule.
+func (s *UnionConnectedSchedule) T() int { return s.t }
+
+// Graph implements Schedule.
+func (s *UnionConnectedSchedule) Graph(t int) *Multigraph {
+	block := (t-1)/s.t + 1 // inner round index
+	phase := (t - 1) % s.t // which slice of the block this round carries
+	full := s.inner.Graph(block)
+	g := NewMultigraph(full.N())
+	for i, l := range full.Links() {
+		if i%s.t == phase {
+			g.MustAddLink(l.U, l.V, l.Mult)
+		}
+	}
+	return g
+}
+
+// UnionConnected reports whether the union of graphs of rounds
+// [from, from+window) under s is connected.
+func UnionConnected(s Schedule, from, window int) (bool, error) {
+	if window <= 0 {
+		return false, fmt.Errorf("dynnet: non-positive window %d", window)
+	}
+	acc := s.Graph(from)
+	for t := from + 1; t < from+window; t++ {
+		next, err := acc.Union(s.Graph(t))
+		if err != nil {
+			return false, err
+		}
+		acc = next
+	}
+	return acc.Connected(), nil
+}

@@ -1,0 +1,195 @@
+package dynnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticSchedule(t *testing.T) {
+	g := Path(4)
+	s := NewStatic(g)
+	if s.N() != 4 {
+		t.Fatalf("N=%d", s.N())
+	}
+	for _, round := range []int{1, 2, 100} {
+		if got := s.Graph(round).String(); got != g.String() {
+			t.Fatalf("round %d: %s != %s", round, got, g)
+		}
+	}
+	// Mutating the returned graph must not affect the schedule.
+	s.Graph(1).MustAddLink(0, 3, 1)
+	if s.Graph(1).LinkCount() != g.LinkCount() {
+		t.Fatal("schedule state leaked through Graph()")
+	}
+}
+
+func TestSequenceSchedule(t *testing.T) {
+	a, b := Path(3), Cycle(3)
+	s, err := NewSequence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph(1).String() != a.String() {
+		t.Error("round 1 should be first graph")
+	}
+	if s.Graph(2).String() != b.String() {
+		t.Error("round 2 should be second graph")
+	}
+	if s.Graph(9).String() != b.String() {
+		t.Error("later rounds should repeat the last graph")
+	}
+	if s.Graph(0).String() != a.String() {
+		t.Error("round ≤ 1 clamps to the first graph")
+	}
+
+	if _, err := NewSequence(); err == nil {
+		t.Error("empty sequence must fail")
+	}
+	if _, err := NewSequence(Path(3), Path(4)); err == nil {
+		t.Error("mismatched sizes must fail")
+	}
+}
+
+func TestRandomConnectedScheduleDeterministicPerRound(t *testing.T) {
+	s := NewRandomConnected(8, 0.4, 99)
+	for _, round := range []int{1, 5, 42} {
+		a := s.Graph(round).String()
+		b := s.Graph(round).String()
+		if a != b {
+			t.Fatalf("round %d not deterministic", round)
+		}
+		if !s.Graph(round).Connected() {
+			t.Fatalf("round %d graph disconnected", round)
+		}
+	}
+	// Different rounds should (generically) differ.
+	if s.Graph(1).String() == s.Graph(2).String() {
+		t.Log("rounds 1 and 2 coincide (possible but unlikely)")
+	}
+}
+
+func TestRotatingStarSchedule(t *testing.T) {
+	s := NewRotatingStar(5)
+	for round := 1; round <= 10; round++ {
+		g := s.Graph(round)
+		if !g.Connected() {
+			t.Fatalf("round %d disconnected", round)
+		}
+		center := round % 5
+		if got := g.Degree(center); got != 4 {
+			t.Fatalf("round %d: center %d degree %d", round, center, got)
+		}
+	}
+}
+
+func TestShiftingPathSchedule(t *testing.T) {
+	s := NewShiftingPath(6)
+	for round := 1; round <= 8; round++ {
+		g := s.Graph(round)
+		if !g.Connected() {
+			t.Fatalf("round %d disconnected", round)
+		}
+		if g.LinkCount() != 5 {
+			t.Fatalf("round %d: %d links, want n-1", round, g.LinkCount())
+		}
+	}
+	if !NewShiftingPath(1).Graph(1).Connected() {
+		t.Error("singleton shifting path")
+	}
+}
+
+func TestBottleneckSchedule(t *testing.T) {
+	s := NewBottleneck(8)
+	for round := 1; round <= 6; round++ {
+		if !s.Graph(round).Connected() {
+			t.Fatalf("round %d disconnected", round)
+		}
+	}
+	// The bridge must rotate: the graphs of two consecutive rounds differ.
+	if s.Graph(1).String() == s.Graph(2).String() {
+		t.Error("bridge did not rotate")
+	}
+}
+
+func TestUnionConnectedSchedule(t *testing.T) {
+	inner := NewRandomConnected(7, 0.5, 3)
+	for _, T := range []int{2, 3, 5} {
+		s, err := NewUnionConnected(inner, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Single rounds are (generally) not connected, but every aligned
+		// window of T rounds unions to a connected graph.
+		for block := 0; block < 4; block++ {
+			ok, err := UnionConnected(s, block*T+1, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("T=%d block %d: union not connected", T, block)
+			}
+		}
+		// The union over a window must equal the inner round's graph.
+		acc := s.Graph(1)
+		for r := 2; r <= T; r++ {
+			acc, err = acc.Union(s.Graph(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if acc.String() != inner.Graph(1).String() {
+			t.Fatalf("T=%d: union of block != inner graph", T)
+		}
+	}
+	if _, err := NewUnionConnected(inner, 0); err == nil {
+		t.Error("T=0 must fail")
+	}
+}
+
+func TestUnionConnectedWindowValidation(t *testing.T) {
+	s := NewStatic(Path(3))
+	if _, err := UnionConnected(s, 1, 0); err == nil {
+		t.Fatal("window 0 must fail")
+	}
+	ok, err := UnionConnected(s, 1, 1)
+	if err != nil || !ok {
+		t.Fatalf("static path union: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFuncSchedule(t *testing.T) {
+	s := NewFunc(3, func(t int) *Multigraph {
+		if t%2 == 0 {
+			return Path(3)
+		}
+		return Cycle(3)
+	})
+	if s.N() != 3 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if s.Graph(1).LinkCount() != 3 {
+		t.Error("odd rounds should be cycles")
+	}
+	if s.Graph(2).LinkCount() != 2 {
+		t.Error("even rounds should be paths")
+	}
+}
+
+func TestSchedulePureFunctionProperty(t *testing.T) {
+	// Every generator must be a pure function of the round number.
+	gens := map[string]Schedule{
+		"random":        NewRandomConnected(6, 0.3, 7),
+		"rotating-star": NewRotatingStar(6),
+		"shifting-path": NewShiftingPath(6),
+		"bottleneck":    NewBottleneck(6),
+	}
+	for name, s := range gens {
+		f := func(round uint8) bool {
+			r := 1 + int(round%50)
+			return s.Graph(r).String() == s.Graph(r).String()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+// BenchmarkRoundThroughput measures raw engine performance: n processes
+// echoing over a static cycle for 100 rounds per iteration.
+func BenchmarkRoundThroughput(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			const rounds = 100
+			sched := dynnet.NewStatic(dynnet.Cycle(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				procs := make([]Coroutine, n)
+				for j := range procs {
+					procs[j] = CoroutineFunc(func(tr *Transport) (any, error) {
+						for r := 0; r < rounds; r++ {
+							if _, err := tr.SendAndReceive(r); err != nil {
+								return nil, err
+							}
+						}
+						return nil, nil
+					})
+				}
+				res, err := Run(Config{Schedule: sched, MaxRounds: rounds + 1}, procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != rounds {
+					b.Fatalf("rounds=%d", res.Rounds)
+				}
+			}
+			b.ReportMetric(float64(rounds)*float64(n), "msgs/op")
+		})
+	}
+}

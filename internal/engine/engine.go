@@ -1,0 +1,404 @@
+// Package engine executes anonymous distributed protocols over dynamic
+// networks in synchronous lock-step rounds.
+//
+// Protocols are written in the blocking, coroutine style of the paper's
+// pseudocode: a process calls Transport.SendAndReceive once per round, which
+// broadcasts its message on all incident links of the current round's
+// multigraph and blocks until the multiset of messages from its neighbors is
+// available. Each process runs in its own goroutine; a central coordinator
+// enforces the round barrier, routes messages according to the schedule, and
+// accounts for message sizes so congestion bounds can be asserted.
+//
+// Execution is deterministic: rounds are strict barriers, the delivery order
+// within a round is the canonical link order of the multigraph, and
+// protocols treat deliveries as multisets.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"anondyn/internal/dynnet"
+)
+
+// Message is a protocol message. The engine treats messages as opaque
+// values; size accounting is delegated to Config.SizeOf.
+type Message any
+
+// Coroutine is a protocol participant written in blocking style. Run must
+// communicate exclusively through t and must return promptly with
+// ErrStopped (possibly wrapped) once SendAndReceive reports it.
+type Coroutine interface {
+	// Run executes the protocol for one process and returns its output.
+	Run(t *Transport) (any, error)
+}
+
+// CoroutineFunc adapts a function to the Coroutine interface.
+type CoroutineFunc func(t *Transport) (any, error)
+
+// Run implements Coroutine.
+func (f CoroutineFunc) Run(t *Transport) (any, error) { return f(t) }
+
+// ErrStopped is returned by Transport.SendAndReceive when the run has been
+// cancelled (stop condition met or round budget exhausted). Coroutines must
+// propagate it.
+var ErrStopped = errors.New("engine: run stopped")
+
+// ErrMaxRounds is reported by Run when the round budget was exhausted
+// before the stop condition held.
+var ErrMaxRounds = errors.New("engine: maximum round budget exhausted")
+
+// BitLimitError reports a message that exceeded the configured congestion
+// limit.
+type BitLimitError struct {
+	Round   int
+	Process int
+	Bits    int
+	Limit   int
+}
+
+// Error implements the error interface.
+func (e *BitLimitError) Error() string {
+	return fmt.Sprintf("engine: round %d: process %d sent %d bits, limit %d",
+		e.Round, e.Process, e.Bits, e.Limit)
+}
+
+// AdaptiveSchedule is a reactive adversary: it chooses each round's
+// multigraph AFTER seeing the messages the processes are sending this
+// round (the strongly adaptive model). For deterministic protocols this
+// adds no theoretical power over an oblivious adversary — the adversary
+// could precompute the run — but it makes worst-case adversaries far
+// easier to express (e.g. "always isolate the holders of the
+// highest-priority message").
+type AdaptiveSchedule interface {
+	// N returns the number of processes.
+	N() int
+	// Graph returns the round-`round` multigraph given the messages sent
+	// this round; sent[pid] is process pid's message, or nil if it has
+	// terminated.
+	Graph(round int, sent []Message) *dynnet.Multigraph
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Schedule supplies the communication multigraph of every round.
+	// Exactly one of Schedule and Adaptive must be set.
+	Schedule dynnet.Schedule
+	// Adaptive, if set, replaces Schedule with a reactive adversary.
+	Adaptive AdaptiveSchedule
+	// MaxRounds caps the run; when exceeded, Run cancels the processes and
+	// returns ErrMaxRounds. It must be positive.
+	MaxRounds int
+	// SizeOf measures a message in bits for congestion accounting. If nil,
+	// sizes are not tracked and BitLimit is ignored.
+	SizeOf func(Message) int
+	// BitLimit, when positive and SizeOf is set, aborts the run with a
+	// *BitLimitError as soon as any message exceeds it.
+	BitLimit int
+	// StopWhen, if non-nil, is evaluated at the end of every round on the
+	// outputs collected so far (keyed by process index); returning true
+	// cancels the remaining processes. If nil, the run continues until all
+	// processes have returned.
+	StopWhen func(outputs map[int]any) bool
+	// Trace, if non-nil, receives every round's sent messages after
+	// delivery, for debugging and engine-level tests.
+	Trace func(round int, sent []Message)
+}
+
+// Result summarizes a completed (or cancelled) run.
+type Result struct {
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// Outputs maps the index of every process that returned a value before
+	// cancellation to that value.
+	Outputs map[int]any
+	// MaxMessageBits is the largest message observed (0 if SizeOf is nil).
+	MaxMessageBits int
+	// TotalMessages counts messages sent (one per process per round).
+	TotalMessages int64
+	// TotalBits accumulates SizeOf over all sent messages.
+	TotalBits int64
+}
+
+// Run executes one coroutine per process over cfg.Schedule and returns the
+// collected outputs. len(procs) must equal cfg.Schedule.N().
+func Run(cfg Config, procs []Coroutine) (*Result, error) {
+	var n int
+	switch {
+	case cfg.Schedule != nil && cfg.Adaptive != nil:
+		return nil, errors.New("engine: both Schedule and Adaptive set")
+	case cfg.Schedule != nil:
+		n = cfg.Schedule.N()
+	case cfg.Adaptive != nil:
+		n = cfg.Adaptive.N()
+	default:
+		return nil, errors.New("engine: nil schedule")
+	}
+	if len(procs) != n {
+		return nil, fmt.Errorf("engine: %d coroutines for %d processes", len(procs), n)
+	}
+	if cfg.MaxRounds <= 0 {
+		return nil, fmt.Errorf("engine: non-positive MaxRounds %d", cfg.MaxRounds)
+	}
+	c := &coordinator{
+		cfg:    cfg,
+		n:      n,
+		events: make(chan event),
+		stop:   make(chan struct{}),
+		inbox:  make([]chan []Message, n),
+		state:  make([]procState, n),
+	}
+	for i := range c.inbox {
+		c.inbox[i] = make(chan []Message, 1)
+	}
+	res, err := c.run(procs)
+	return res, err
+}
+
+type procState int
+
+const (
+	stateRunning procState = iota + 1
+	stateWaiting           // submitted this round, blocked on delivery
+	stateDone              // returned an output
+)
+
+type event struct {
+	pid    int
+	msg    Message // valid when kind == evSubmit
+	output any     // valid when kind == evDone
+	err    error   // valid when kind == evDone
+	kind   evKind
+}
+
+type evKind int
+
+const (
+	evSubmit evKind = iota + 1
+	evDone
+)
+
+type coordinator struct {
+	cfg    Config
+	n      int
+	events chan event
+	stop   chan struct{}
+	inbox  []chan []Message
+	state  []procState
+
+	round   int
+	pending []Message // message submitted by each process this round
+}
+
+// Transport is the per-process communication endpoint handed to Coroutine.Run.
+type Transport struct {
+	pid   int
+	coord *coordinator
+	round int
+}
+
+// PID returns the process index in [0, n). It exists for the engine's own
+// bookkeeping and for test instrumentation; anonymous protocols must not
+// let it influence their behaviour.
+func (t *Transport) PID() int { return t.pid }
+
+// Round returns the number of completed communication rounds for this
+// process (0 before the first SendAndReceive returns).
+func (t *Transport) Round() int { return t.round }
+
+// SendAndReceive broadcasts msg on all links incident to this process in
+// the current round's multigraph and blocks until the round completes,
+// returning the multiset of messages received from neighbors (possibly
+// empty if the process is isolated this round). It returns ErrStopped when
+// the run has been cancelled.
+func (t *Transport) SendAndReceive(msg Message) ([]Message, error) {
+	select {
+	case t.coord.events <- event{pid: t.pid, kind: evSubmit, msg: msg}:
+	case <-t.coord.stop:
+		return nil, ErrStopped
+	}
+	// A delivery that has already been made must win over cancellation:
+	// the round completed for every participant, so this process is
+	// entitled to observe it (otherwise behaviour at the final round would
+	// depend on goroutine scheduling).
+	select {
+	case msgs := <-t.coord.inbox[t.pid]:
+		t.round++
+		return msgs, nil
+	default:
+	}
+	select {
+	case msgs := <-t.coord.inbox[t.pid]:
+		t.round++
+		return msgs, nil
+	case <-t.coord.stop:
+		return nil, ErrStopped
+	}
+}
+
+func (c *coordinator) run(procs []Coroutine) (*Result, error) {
+	var wg sync.WaitGroup
+	for i := range procs {
+		c.state[i] = stateRunning
+		tr := &Transport{pid: i, coord: c}
+		proc := procs[i]
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			out, err := proc.Run(tr)
+			select {
+			case c.events <- event{pid: pid, kind: evDone, output: out, err: err}:
+			case <-c.stop:
+			}
+		}(i)
+	}
+
+	res := &Result{Outputs: make(map[int]any)}
+	c.pending = make([]Message, c.n)
+	var runErr error
+
+loop:
+	for {
+		alive, waiting := c.census()
+		if alive == 0 {
+			break // every process returned
+		}
+		if waiting == alive {
+			// Round barrier reached: deliver.
+			if err := c.deliver(res); err != nil {
+				runErr = err
+				break
+			}
+			if c.cfg.StopWhen != nil && c.cfg.StopWhen(res.Outputs) {
+				break
+			}
+			if c.round >= c.cfg.MaxRounds {
+				runErr = ErrMaxRounds
+				break
+			}
+			continue
+		}
+		ev := <-c.events
+		switch ev.kind {
+		case evSubmit:
+			c.state[ev.pid] = stateWaiting
+			c.pending[ev.pid] = ev.msg
+		case evDone:
+			c.state[ev.pid] = stateDone
+			if ev.err != nil && !errors.Is(ev.err, ErrStopped) {
+				runErr = fmt.Errorf("engine: process %d: %w", ev.pid, ev.err)
+				break loop
+			}
+			if ev.err == nil {
+				res.Outputs[ev.pid] = ev.output
+			}
+			if c.cfg.StopWhen != nil && c.cfg.StopWhen(res.Outputs) {
+				break loop
+			}
+		}
+	}
+
+	close(c.stop)
+	wg.Wait()
+	// Collect outputs from processes that finished during shutdown.
+	for {
+		select {
+		case ev := <-c.events:
+			if ev.kind == evDone && ev.err == nil {
+				res.Outputs[ev.pid] = ev.output
+			}
+		default:
+			res.Rounds = c.round
+			return res, runErr
+		}
+	}
+}
+
+// census returns the number of processes still participating and how many
+// of them have submitted this round.
+func (c *coordinator) census() (alive, waiting int) {
+	for _, s := range c.state {
+		switch s {
+		case stateRunning:
+			alive++
+		case stateWaiting:
+			alive++
+			waiting++
+		}
+	}
+	return alive, waiting
+}
+
+// deliver completes one round: accounts sizes, routes the pending messages
+// along the round's multigraph, and releases the waiting processes.
+func (c *coordinator) deliver(res *Result) error {
+	c.round++
+
+	out := make([][]Message, c.n)
+	sent := make([]Message, 0, c.n)
+	sentByPID := make([]Message, c.n)
+	for pid, s := range c.state {
+		if s != stateWaiting {
+			continue
+		}
+		msg := c.pending[pid]
+		sent = append(sent, msg)
+		sentByPID[pid] = msg
+		res.TotalMessages++
+		if c.cfg.SizeOf != nil {
+			bits := c.cfg.SizeOf(msg)
+			res.TotalBits += int64(bits)
+			if bits > res.MaxMessageBits {
+				res.MaxMessageBits = bits
+			}
+			if c.cfg.BitLimit > 0 && bits > c.cfg.BitLimit {
+				return &BitLimitError{Round: c.round, Process: pid, Bits: bits, Limit: c.cfg.BitLimit}
+			}
+		}
+	}
+
+	var g *dynnet.Multigraph
+	if c.cfg.Adaptive != nil {
+		g = c.cfg.Adaptive.Graph(c.round, sentByPID)
+	} else {
+		g = c.cfg.Schedule.Graph(c.round)
+	}
+	if g.N() != c.n {
+		return fmt.Errorf("engine: schedule produced graph on %d processes at round %d, want %d",
+			g.N(), c.round, c.n)
+	}
+
+	for _, l := range g.Links() {
+		uAlive := c.state[l.U] == stateWaiting
+		vAlive := c.state[l.V] == stateWaiting
+		if l.U == l.V {
+			if uAlive {
+				for k := 0; k < l.Mult; k++ {
+					out[l.U] = append(out[l.U], c.pending[l.U])
+				}
+			}
+			continue
+		}
+		for k := 0; k < l.Mult; k++ {
+			if uAlive && vAlive {
+				out[l.U] = append(out[l.U], c.pending[l.V])
+				out[l.V] = append(out[l.V], c.pending[l.U])
+			}
+			// A terminated endpoint neither sends nor receives.
+		}
+	}
+
+	if c.cfg.Trace != nil {
+		c.cfg.Trace(c.round, sent)
+	}
+
+	for pid, s := range c.state {
+		if s != stateWaiting {
+			continue
+		}
+		c.state[pid] = stateRunning
+		c.inbox[pid] <- out[pid]
+	}
+	return nil
+}

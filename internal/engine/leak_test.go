@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"anondyn/internal/dynnet"
+)
+
+// TestNoGoroutineLeaks verifies that Run waits for every process goroutine
+// before returning, under normal completion, early stop, and round-budget
+// cancellation alike.
+func TestNoGoroutineLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	runs := []struct {
+		name string
+		do   func() error
+	}{
+		{name: "normal", do: func() error {
+			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Cycle(4)), MaxRounds: 10},
+				[]Coroutine{echoProc(3), echoProc(3), echoProc(3), echoProc(3)})
+			return err
+		}},
+		{name: "stop-when", do: func() error {
+			forever := CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+			})
+			twoRounds := CoroutineFunc(func(tr *Transport) (any, error) {
+				for i := 0; i < 2; i++ {
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+				return "done", nil
+			})
+			_, err := Run(Config{
+				Schedule:  dynnet.NewStatic(dynnet.Path(3)),
+				MaxRounds: 100,
+				StopWhen:  func(out map[int]any) bool { _, ok := out[0]; return ok },
+			}, []Coroutine{twoRounds, forever, forever})
+			return err
+		}},
+		{name: "max-rounds", do: func() error {
+			forever := CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+			})
+			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Path(2)), MaxRounds: 3},
+				[]Coroutine{forever, forever})
+			if err == nil {
+				return nil
+			}
+			return nil // ErrMaxRounds expected
+		}},
+	}
+	for _, r := range runs {
+		for i := 0; i < 5; i++ {
+			if err := r.do(); err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+		}
+	}
+
+	// Let any stragglers finish, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+// sumStepper broadcasts its value for a fixed number of rounds and
+// accumulates everything it hears.
+type sumStepper struct {
+	value  int
+	rounds int
+	steps  int
+	sum    int
+}
+
+var _ Stepper = (*sumStepper)(nil)
+
+func (s *sumStepper) Compose() Message { return s.value }
+
+func (s *sumStepper) Deliver(msgs []Message) {
+	for _, m := range msgs {
+		s.sum += m.(int)
+	}
+	s.steps++
+}
+
+func (s *sumStepper) Done() (any, bool) {
+	if s.steps >= s.rounds {
+		return s.sum, true
+	}
+	return nil, false
+}
+
+func TestStepperRunsOnBarrierEngine(t *testing.T) {
+	// Complete graph on 3: each process hears the other two each round.
+	steppers := []*sumStepper{
+		{value: 1, rounds: 2},
+		{value: 10, rounds: 2},
+		{value: 100, rounds: 2},
+	}
+	procs := make([]Coroutine, len(steppers))
+	for i, s := range steppers {
+		procs[i] = FromStepper(s)
+	}
+	res, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Complete(3)), MaxRounds: 5}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{0: 2 * 110, 1: 2 * 101, 2: 2 * 11}
+	for pid, w := range want {
+		if res.Outputs[pid] != w {
+			t.Errorf("process %d output %v, want %d", pid, res.Outputs[pid], w)
+		}
+	}
+	if res.Rounds != 2 {
+		t.Errorf("Rounds=%d, want 2", res.Rounds)
+	}
+}
+
+func TestStepperDoneImmediately(t *testing.T) {
+	// A stepper that is done before communicating never enters a round.
+	s := &sumStepper{rounds: 0}
+	res, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Complete(1)), MaxRounds: 3},
+		[]Coroutine{FromStepper(s)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("Rounds=%d, want 0", res.Rounds)
+	}
+	if res.Outputs[0] != 0 {
+		t.Fatalf("output %v, want 0", res.Outputs[0])
+	}
+}
+
+func TestSteppersWithMixedLifetimes(t *testing.T) {
+	steppers := []*sumStepper{
+		{value: 1, rounds: 1},
+		{value: 1, rounds: 4},
+	}
+	procs := []Coroutine{FromStepper(steppers[0]), FromStepper(steppers[1])}
+	res, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Path(2)), MaxRounds: 10}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 1 only hears process 0 in round 1.
+	if res.Outputs[1] != 1 {
+		t.Fatalf("process 1 heard %v, want 1", res.Outputs[1])
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("Rounds=%d, want 4", res.Rounds)
+	}
+}

@@ -1,0 +1,79 @@
+package historytree
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+func BenchmarkOracleBuild(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := dynnet.NewRandomConnected(n, 0.3, 1)
+			inputs := make([]Input, n)
+			inputs[0].Leader = true
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(s, inputs, 3*n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolver(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := dynnet.NewRandomConnected(n, 0.3, 1)
+			inputs := make([]Input, n)
+			inputs[0].Leader = true
+			run, err := Build(s, inputs, 3*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Count(run.Tree, 3*n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Known || res.N != n {
+					b.Fatalf("solver failed: %+v", res)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCanonicalForm(b *testing.B) {
+	s := dynnet.NewRandomConnected(16, 0.3, 1)
+	inputs := make([]Input, 16)
+	inputs[0].Leader = true
+	run, err := Build(s, inputs, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CanonicalForm(run.Tree)
+	}
+}
+
+func BenchmarkViewExtract(b *testing.B) {
+	s := dynnet.NewRandomConnected(16, 0.3, 1)
+	inputs := make([]Input, 16)
+	inputs[0].Leader = true
+	run, err := Build(s, inputs, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := run.NodeOf[32][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractView(run.Tree, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package historytree
+
+import (
+	"fmt"
+	"sort"
+
+	"anondyn/internal/dynnet"
+)
+
+// Run is the oracle-built history tree of a concrete execution: the tree
+// itself plus the assignment of processes to nodes at every round and the
+// resulting class cardinalities. The protocol under test never sees a Run —
+// it is ground truth for the test and benchmark suites.
+type Run struct {
+	// Tree is the history tree of the first `Rounds` rounds.
+	Tree *Tree
+	// Rounds is the number of simulated rounds (levels 0..Rounds exist).
+	Rounds int
+	// NodeOf[t][p] is the node representing process p at the end of round
+	// t, for t in [0, Rounds].
+	NodeOf [][]*Node
+	// Card maps each node ID to the number of processes it represents.
+	Card map[int]int
+}
+
+// Build simulates `rounds` rounds of the schedule with the given per-process
+// inputs and returns the true history tree. Two processes are
+// indistinguishable at round 0 iff their inputs are equal; at round t+1 iff
+// they were indistinguishable at round t and received equal multisets of
+// (class, multiplicity) messages.
+func Build(s dynnet.Schedule, inputs []Input, rounds int) (*Run, error) {
+	n := s.N()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("historytree: %d inputs for %d processes", len(inputs), n)
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("historytree: negative round count %d", rounds)
+	}
+
+	t := New()
+	nextID := 0
+	card := map[int]int{RootID: n}
+
+	// Level 0: partition by input, in first-appearance order.
+	level0 := make(map[Input]*Node)
+	cur := make([]*Node, n)
+	for p := 0; p < n; p++ {
+		node, ok := level0[inputs[p]]
+		if !ok {
+			var err error
+			node, err = t.AddChild(nextID, t.Root(), inputs[p])
+			if err != nil {
+				return nil, err
+			}
+			nextID++
+			level0[inputs[p]] = node
+		}
+		card[node.ID]++
+		cur[p] = node
+	}
+
+	run := &Run{Tree: t, Rounds: rounds, Card: card}
+	run.NodeOf = append(run.NodeOf, append([]*Node(nil), cur...))
+
+	for round := 1; round <= rounds; round++ {
+		g := s.Graph(round)
+		if g.N() != n {
+			return nil, fmt.Errorf("historytree: schedule graph at round %d has %d processes, want %d",
+				round, g.N(), n)
+		}
+		next, err := refine(t, g, cur, &nextID, card)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		run.NodeOf = append(run.NodeOf, append([]*Node(nil), cur...))
+	}
+	return run, nil
+}
+
+// refine computes the next level: processes in the same class split
+// according to the multiset of classes (with multiplicities) they hear from.
+func refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[int]int) ([]*Node, error) {
+	n := len(cur)
+	// obs[p] maps source-class node ID → number of messages received.
+	obs := make([]map[int]int, n)
+	for p := 0; p < n; p++ {
+		obs[p] = make(map[int]int)
+	}
+	for _, l := range g.Links() {
+		if l.U == l.V {
+			obs[l.U][cur[l.U].ID] += l.Mult
+			continue
+		}
+		obs[l.U][cur[l.V].ID] += l.Mult
+		obs[l.V][cur[l.U].ID] += l.Mult
+	}
+
+	// Group processes by (current class, canonical observation signature).
+	type key struct {
+		parent int
+		sig    string
+	}
+	groups := make(map[key]*Node)
+	next := make([]*Node, n)
+	// Deterministic iteration: process indices ascending, so node creation
+	// order is reproducible.
+	for p := 0; p < n; p++ {
+		k := key{parent: cur[p].ID, sig: signature(obs[p])}
+		node, ok := groups[k]
+		if !ok {
+			var err error
+			node, err = t.AddChild(*nextID, cur[p], Input{})
+			if err != nil {
+				return nil, err
+			}
+			*nextID++
+			for _, srcID := range sortedKeys(obs[p]) {
+				if err := t.AddRed(node, t.NodeByID(srcID), obs[p][srcID]); err != nil {
+					return nil, err
+				}
+			}
+			groups[k] = node
+		}
+		card[node.ID]++
+		next[p] = node
+	}
+	return next, nil
+}
+
+// signature canonically serializes an observation multiset.
+func signature(obs map[int]int) string {
+	keys := sortedKeys(obs)
+	b := make([]byte, 0, len(keys)*8)
+	for _, k := range keys {
+		b = append(b, fmt.Sprintf("%d:%d;", k, obs[k])...)
+	}
+	return string(b)
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,68 @@
+package historytree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalForm returns a string that identifies the tree up to
+// isomorphism of history trees (node IDs are ignored except for the level-0
+// input labels, which are structural).
+//
+// The form is computed by exact level-by-level color refinement: the root
+// gets a fixed color; a level-0 node's color is its input; a deeper node's
+// color is the pair (parent color, sorted multiset of (red-source color,
+// multiplicity)). Because a history-tree node is fully determined by its
+// parent and its red edges into the previous level, two trees are
+// isomorphic exactly when the per-level multisets of colors coincide, which
+// is what the returned string encodes. Colors are re-compressed to short
+// canonical tokens after each level so the form stays linear in tree size.
+func CanonicalForm(t *Tree) string {
+	colors := map[*Node]string{t.Root(): "r"}
+	var b strings.Builder
+	for l := 0; l <= t.Depth(); l++ {
+		level := t.Level(l)
+		names := make(map[*Node]string, len(level))
+		for _, v := range level {
+			if l == 0 {
+				names[v] = fmt.Sprintf("(%s|in=%s)", colors[v.Parent], v.Input)
+				continue
+			}
+			reds := make([]string, 0, len(v.Red))
+			for _, e := range v.Red {
+				reds = append(reds, fmt.Sprintf("%s*%d", colors[e.Src], e.Mult))
+			}
+			sort.Strings(reds)
+			names[v] = fmt.Sprintf("(%s|%s)", colors[v.Parent], strings.Join(reds, ","))
+		}
+
+		// Emit the per-level multiset of long names, then compress each
+		// distinct name to a canonical short token for the next level.
+		sorted := make([]string, 0, len(level))
+		for _, v := range level {
+			sorted = append(sorted, names[v])
+		}
+		sort.Strings(sorted)
+		fmt.Fprintf(&b, "L%d:%s\n", l, strings.Join(sorted, " "))
+
+		token := make(map[string]string, len(sorted))
+		rank := 0
+		for _, name := range sorted {
+			if _, ok := token[name]; !ok {
+				token[name] = fmt.Sprintf("c%d.%d", l, rank)
+				rank++
+			}
+		}
+		for _, v := range level {
+			colors[v] = token[names[v]]
+		}
+	}
+	return b.String()
+}
+
+// Isomorphic reports whether two history trees are isomorphic (ignoring
+// node IDs, respecting level-0 input labels and all multiplicities).
+func Isomorphic(a, b *Tree) bool {
+	return CanonicalForm(a) == CanonicalForm(b)
+}

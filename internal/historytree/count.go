@@ -1,0 +1,489 @@
+package historytree
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Count infers process counts from a history tree whose levels
+// 0..completeLevels are complete (every process is represented at each of
+// those levels and children partition their parents). It plays the role of
+// the Counting algorithm of Di Luna–Viglietta (FOCS 2022) that the paper
+// invokes as a black box ("CountFromView", Listing 2 line 31).
+//
+// The solver assigns one unknown cardinality to every node of the deepest
+// complete level, expresses every shallower node's cardinality as the sum
+// of its level-completeLevels descendants, and collects the red-edge
+// balance equations: for classes u, w of a level t < completeLevels, the
+// number of round-(t+1) links between P_u and P_w can be counted from
+// either side,
+//
+//	Σ_{c child of w} mult(c ← u)·|P_c|  =  Σ_{c′ child of u} mult(c′ ← w)·|P_c′|.
+//
+// The true cardinalities always satisfy this homogeneous system, so if its
+// null space is one-dimensional the ray is proportional to the truth:
+// with a unique leader the ray is normalized by |leader class| = 1, giving
+// exact counts; otherwise it is normalized to the smallest positive integer
+// vector, giving exact input frequencies. If the null space has higher
+// dimension the answer is not yet determined and Known is false — by the
+// FOCS 2022 result, O(n) complete levels always suffice.
+func Count(t *Tree, completeLevels int) (CountResult, error) {
+	leaders := leaderNodes(t)
+	if len(leaders) != 1 {
+		return CountResult{}, fmt.Errorf("historytree: %d leader classes at level 0, want 1", len(leaders))
+	}
+	sol, err := solve(t, completeLevels)
+	if err != nil {
+		return CountResult{}, err
+	}
+	if !sol.known {
+		return CountResult{}, nil
+	}
+	leaderWeight := sol.weightOf(leaders[0])
+	if leaderWeight.Sign() <= 0 {
+		return CountResult{}, fmt.Errorf("historytree: non-positive leader class weight %v", leaderWeight)
+	}
+	// Scale the ray so the leader class has cardinality exactly 1.
+	scale := new(big.Rat).Inv(leaderWeight)
+	total := new(big.Rat)
+	multiset := make(map[Input]int, len(t.Level(0)))
+	for _, v := range t.Level(0) {
+		w := new(big.Rat).Mul(sol.weightOf(v), scale)
+		c, ok := ratInt(w)
+		if !ok || c < 0 {
+			// The dim-1 ray is proportional to the truth, so this is a
+			// defensive check; it can only fire on a malformed tree.
+			return CountResult{}, fmt.Errorf("historytree: non-integer class cardinality %v", w)
+		}
+		multiset[v.Input] = c
+		total.Add(total, w)
+	}
+	n, ok := ratInt(total)
+	if !ok || n <= 0 {
+		return CountResult{}, fmt.Errorf("historytree: non-integer total %v", total)
+	}
+	return CountResult{Known: true, N: n, Multiset: multiset}, nil
+}
+
+// CountResult is the outcome of Count.
+type CountResult struct {
+	// Known reports whether the tree determined the answer. When false the
+	// caller should extend the tree by more levels and retry ("Unknown" in
+	// the paper's pseudocode).
+	Known bool
+	// N is the total number of processes.
+	N int
+	// Multiset maps each level-0 input to the number of processes holding
+	// it (the Generalized Counting answer).
+	Multiset map[Input]int
+}
+
+// Frequencies infers input frequencies from a leaderless history tree with
+// levels 0..completeLevels complete. The null-space ray determines
+// cardinalities only up to scale (leaderless networks cannot count, per
+// Di Luna–Viglietta DISC 2023), so the result is the smallest positive
+// integer vector: exact frequencies, and a minimal consistent network size
+// MinSize of which the true n is a multiple.
+func Frequencies(t *Tree, completeLevels int) (FrequencyResult, error) {
+	sol, err := solve(t, completeLevels)
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	if !sol.known {
+		return FrequencyResult{}, nil
+	}
+	// Clear denominators and divide by the gcd to obtain the minimal
+	// positive integer ray.
+	lcm := big.NewInt(1)
+	for _, v := range t.Level(0) {
+		lcm = lcmBig(lcm, sol.weightOf(v).Denom())
+	}
+	counts := make(map[Input]*big.Int, len(t.Level(0)))
+	gcd := new(big.Int)
+	total := new(big.Int)
+	for _, v := range t.Level(0) {
+		w := sol.weightOf(v)
+		c := new(big.Int).Mul(w.Num(), new(big.Int).Div(lcm, w.Denom()))
+		if c.Sign() < 0 {
+			return FrequencyResult{}, fmt.Errorf("historytree: negative class weight for input %s", v.Input)
+		}
+		counts[v.Input] = c
+		gcd.GCD(nil, nil, gcd, new(big.Int).Abs(c))
+		total.Add(total, c)
+	}
+	if gcd.Sign() == 0 || total.Sign() <= 0 {
+		return FrequencyResult{}, fmt.Errorf("historytree: degenerate leaderless solution")
+	}
+	res := FrequencyResult{Known: true, Shares: make(map[Input]int, len(counts))}
+	for in, c := range counts {
+		res.Shares[in] = int(new(big.Int).Div(c, gcd).Int64())
+	}
+	res.MinSize = int(new(big.Int).Div(total, gcd).Int64())
+	return res, nil
+}
+
+// FrequencyResult is the outcome of Frequencies.
+type FrequencyResult struct {
+	// Known mirrors CountResult.Known.
+	Known bool
+	// Shares maps each input to its share of the smallest positive integer
+	// solution; the frequency of input i is Shares[i] / MinSize.
+	Shares map[Input]int
+	// MinSize is the sum of Shares: the minimal network size consistent
+	// with the observations. The true n is a positive multiple of it.
+	MinSize int
+}
+
+// CheckWeights verifies that the given true cardinalities (node ID → count)
+// satisfy every constraint the solver uses on levels 0..completeLevels:
+// children partition parents, and all red-edge balance equations hold. It
+// is the property-test oracle for the solver's soundness argument.
+func CheckWeights(t *Tree, completeLevels int, card map[int]int) error {
+	if completeLevels > t.Depth() {
+		return fmt.Errorf("historytree: completeLevels %d exceeds depth %d", completeLevels, t.Depth())
+	}
+	for l := 0; l < completeLevels; l++ {
+		for _, v := range t.Level(l) {
+			sum := 0
+			for _, c := range v.Children {
+				sum += card[c.ID]
+			}
+			if sum != card[v.ID] {
+				return fmt.Errorf("historytree: node %d has cardinality %d but children sum to %d",
+					v.ID, card[v.ID], sum)
+			}
+		}
+		for _, pair := range balancePairs(t, l) {
+			lhs, rhs := 0, 0
+			for _, c := range pair.w.Children {
+				lhs += c.RedMult(pair.u) * card[c.ID]
+			}
+			for _, c := range pair.u.Children {
+				rhs += c.RedMult(pair.w) * card[c.ID]
+			}
+			if lhs != rhs {
+				return fmt.Errorf("historytree: balance violated between %d and %d at level %d: %d != %d",
+					pair.u.ID, pair.w.ID, l, lhs, rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// solution carries the solved ray: a rational weight per node of the
+// deepest complete level, plus the descendant-coefficient map for
+// evaluating shallower nodes.
+type solution struct {
+	known  bool
+	leaves []*Node
+	index  map[*Node]int
+	coef   map[*Node][]int64
+	ray    []*big.Rat
+}
+
+// balanced checks one balance equation directly on the solved ray.
+func (s *solution) balanced(pair nodePair) bool {
+	lhs := new(big.Rat)
+	rhs := new(big.Rat)
+	term := new(big.Rat)
+	for _, c := range pair.w.Children {
+		if m := c.RedMult(pair.u); m != 0 {
+			term.SetInt64(int64(m))
+			lhs.Add(lhs, term.Mul(term, s.weightOf(c)))
+		}
+	}
+	for _, c := range pair.u.Children {
+		if m := c.RedMult(pair.w); m != 0 {
+			term.SetInt64(int64(m))
+			rhs.Add(rhs, term.Mul(term, s.weightOf(c)))
+		}
+	}
+	return lhs.Cmp(rhs) == 0
+}
+
+// weightOf evaluates the ray on any node of a complete level.
+func (s *solution) weightOf(v *Node) *big.Rat {
+	out := new(big.Rat)
+	term := new(big.Rat)
+	for i, c := range s.coef[v] {
+		if c == 0 {
+			continue
+		}
+		term.SetInt64(c)
+		out.Add(out, term.Mul(term, s.ray[i]))
+	}
+	return out
+}
+
+func solve(t *Tree, completeLevels int) (*solution, error) {
+	if completeLevels < 0 || completeLevels > t.Depth() {
+		return nil, fmt.Errorf("historytree: completeLevels %d out of range [0,%d]", completeLevels, t.Depth())
+	}
+	leaves := t.Level(completeLevels)
+	k := len(leaves)
+	if k == 0 {
+		return nil, fmt.Errorf("historytree: empty level %d", completeLevels)
+	}
+	sol := &solution{
+		leaves: leaves,
+		index:  make(map[*Node]int, k),
+		coef:   make(map[*Node][]int64),
+	}
+	for i, v := range leaves {
+		sol.index[v] = i
+		vec := make([]int64, k)
+		vec[i] = 1
+		sol.coef[v] = vec
+	}
+	// Propagate descendant coefficients upward.
+	for l := completeLevels - 1; l >= 0; l-- {
+		for _, v := range t.Level(l) {
+			vec := make([]int64, k)
+			for _, c := range v.Children {
+				cv, ok := sol.coef[c]
+				if !ok {
+					// Child beyond the complete prefix contributes nothing.
+					continue
+				}
+				for i := range vec {
+					vec[i] += cv[i]
+				}
+			}
+			sol.coef[v] = vec
+		}
+	}
+
+	// Collect the homogeneous balance system and reduce it incrementally.
+	// On a well-formed history tree the truth is a nonzero null vector, so
+	// the rank cannot exceed k-1 and we stop as soon as it is reached; on
+	// an inconsistent input (levels wrongly assumed complete) the rank may
+	// hit k, which we report as undetermined.
+	rref := newRREF(k)
+collect:
+	for l := 0; l < completeLevels; l++ {
+		for _, pair := range balancePairs(t, l) {
+			row := make([]*big.Rat, k)
+			for i := range row {
+				row[i] = new(big.Rat)
+			}
+			addTerms(row, pair.w.Children, pair.u, sol, 1)
+			addTerms(row, pair.u.Children, pair.w, sol, -1)
+			rref.add(row)
+			if rref.rank >= k-1 {
+				break collect
+			}
+		}
+	}
+	if rref.rank != k-1 {
+		return sol, nil // not (or over-) determined
+	}
+	sol.ray = rref.nullVector()
+	// The early stop above skips the remaining equations; verify the
+	// candidate ray against every balance pair so that an inconsistent
+	// system (levels wrongly assumed complete) is reported as undetermined
+	// instead of producing a bogus ray. On a genuine history tree the true
+	// cardinalities span the null space, so this verification always
+	// passes.
+	for l := 0; l < completeLevels; l++ {
+		for _, pair := range balancePairs(t, l) {
+			if !sol.balanced(pair) {
+				return &solution{}, nil
+			}
+		}
+	}
+	// Orient the ray positively: the truth is strictly positive on every
+	// leaf (complete-level classes are nonempty).
+	sign := 0
+	for _, x := range sol.ray {
+		if s := x.Sign(); s != 0 {
+			sign = s
+			break
+		}
+	}
+	if sign < 0 {
+		for _, x := range sol.ray {
+			x.Neg(x)
+		}
+	}
+	for _, x := range sol.ray {
+		if x.Sign() <= 0 {
+			// Mixed signs: the system pinned down a ray that cannot be a
+			// cardinality vector; treat as undetermined rather than wrong.
+			return &solution{}, nil
+		}
+	}
+	sol.known = true
+	return sol, nil
+}
+
+// addTerms accumulates sign · Σ_{c ∈ children} mult(c ← src) · coef(c)
+// into row.
+func addTerms(row []*big.Rat, children []*Node, src *Node, sol *solution, sign int64) {
+	term := new(big.Rat)
+	for _, c := range children {
+		m := c.RedMult(src)
+		if m == 0 {
+			continue
+		}
+		cv, ok := sol.coef[c]
+		if !ok {
+			continue
+		}
+		for i, coeff := range cv {
+			if coeff == 0 {
+				continue
+			}
+			term.SetInt64(sign * int64(m) * coeff)
+			row[i].Add(row[i], term)
+		}
+	}
+}
+
+// nodePair is an unordered pair of same-level nodes linked by at least one
+// red edge through the next level.
+type nodePair struct {
+	u, w *Node
+}
+
+// balancePairs enumerates the distinct pairs {u, w} of level-l nodes, u≠w,
+// such that some child of one has a red edge from the other.
+func balancePairs(t *Tree, l int) []nodePair {
+	seen := make(map[[2]int]bool)
+	var out []nodePair
+	for _, c := range t.Level(l + 1) {
+		w := c.Parent
+		for _, e := range c.Red {
+			u := e.Src
+			if u == w {
+				continue
+			}
+			key := [2]int{u.ID, w.ID}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, nodePair{u: u, w: w})
+			}
+		}
+	}
+	return out
+}
+
+// rref maintains a reduced row-echelon basis of the row space, supporting
+// incremental row insertion and null-vector extraction.
+type rref struct {
+	cols  int
+	rows  [][]*big.Rat // reduced rows, each with leading coefficient 1
+	pivot []int        // pivot column of each row
+	rank  int
+	has   []bool // has[c] = some row pivots at column c
+}
+
+func newRREF(cols int) *rref {
+	return &rref{cols: cols, has: make([]bool, cols)}
+}
+
+// add reduces row against the basis and inserts it if independent. The row
+// is consumed.
+func (r *rref) add(row []*big.Rat) {
+	tmp := new(big.Rat)
+	for i, br := range r.rows {
+		p := r.pivot[i]
+		if row[p].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(row[p])
+		for c := 0; c < r.cols; c++ {
+			if br[c].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(factor, br[c])
+			row[c].Sub(row[c], tmp)
+		}
+	}
+	p := -1
+	for c := 0; c < r.cols; c++ {
+		if row[c].Sign() != 0 {
+			p = c
+			break
+		}
+	}
+	if p < 0 {
+		return // dependent
+	}
+	inv := new(big.Rat).Inv(row[p])
+	for c := p; c < r.cols; c++ {
+		row[c].Mul(row[c], inv)
+	}
+	// Back-eliminate the new pivot from existing rows.
+	for i, br := range r.rows {
+		_ = i
+		if br[p].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(br[p])
+		for c := 0; c < r.cols; c++ {
+			if row[c].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(factor, row[c])
+			br[c].Sub(br[c], tmp)
+		}
+	}
+	r.rows = append(r.rows, row)
+	r.pivot = append(r.pivot, p)
+	r.has[p] = true
+	r.rank++
+}
+
+// nullVector returns a nonzero vector of the (one-dimensional) null space.
+// It must only be called when rank == cols-1.
+func (r *rref) nullVector() []*big.Rat {
+	free := -1
+	for c := 0; c < r.cols; c++ {
+		if !r.has[c] {
+			free = c
+			break
+		}
+	}
+	out := make([]*big.Rat, r.cols)
+	for c := range out {
+		out[c] = new(big.Rat)
+	}
+	out[free].SetInt64(1)
+	for i, row := range r.rows {
+		out[r.pivot[i]].Neg(row[free])
+	}
+	return out
+}
+
+// leaderNodes returns the level-0 nodes whose input has the leader flag.
+func leaderNodes(t *Tree) []*Node {
+	var out []*Node
+	for _, v := range t.Level(0) {
+		if v.Input.Leader {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ratInt converts an exact rational to int if it is integral.
+func ratInt(r *big.Rat) (int, bool) {
+	if !r.IsInt() {
+		return 0, false
+	}
+	num := r.Num()
+	if !num.IsInt64() {
+		return 0, false
+	}
+	return int(num.Int64()), true
+}
+
+// lcmBig returns lcm(a, b) for positive big ints.
+func lcmBig(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	out := new(big.Int).Div(a, g)
+	return out.Mul(out, b)
+}

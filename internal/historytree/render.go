@@ -1,0 +1,83 @@
+package historytree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII returns a human-readable, level-by-level listing of the tree:
+//
+//	L-1: [-1]
+//	L0:  [0 in=L:0] [1 in=0]
+//	L1:  [2 <-0 r:(0x2)] …
+//
+// Each node shows its ID, its black parent ("<-parent"), its level-0 input
+// when present, and its red edges as r:(srcID×mult, …).
+func RenderASCII(t *Tree) string {
+	var b strings.Builder
+	for l := -1; l <= t.Depth(); l++ {
+		fmt.Fprintf(&b, "L%d:", l)
+		for _, v := range t.Level(l) {
+			b.WriteString(" [")
+			fmt.Fprintf(&b, "%d", v.ID)
+			if v.Parent != nil {
+				fmt.Fprintf(&b, " <-%d", v.Parent.ID)
+			}
+			if l == 0 {
+				fmt.Fprintf(&b, " in=%s", v.Input)
+			}
+			if len(v.Red) > 0 {
+				b.WriteString(" r:(")
+				for i, e := range sortedRedKeys(v) {
+					if i > 0 {
+						b.WriteString(",")
+					}
+					fmt.Fprintf(&b, "%dx%d", e.Src.ID, e.Mult)
+				}
+				b.WriteString(")")
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderDOT returns the tree in Graphviz DOT format: black edges solid,
+// red edges red and labeled with their multiplicity.
+func RenderDOT(t *Tree, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name)
+	for l := -1; l <= t.Depth(); l++ {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, v := range t.Level(l) {
+			fmt.Fprintf(&b, " n%d;", v.ID)
+		}
+		b.WriteString(" }\n")
+		for _, v := range t.Level(l) {
+			label := fmt.Sprintf("%d", v.ID)
+			if l == 0 {
+				label = fmt.Sprintf("%d\\n%s", v.ID, v.Input)
+			}
+			fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", v.ID, label)
+			if v.Parent != nil {
+				fmt.Fprintf(&b, "  n%d -> n%d [color=black];\n", v.Parent.ID, v.ID)
+			}
+			for _, e := range sortedRedKeys(v) {
+				fmt.Fprintf(&b, "  n%d -> n%d [color=red, label=\"%d\", constraint=false];\n",
+					e.Src.ID, v.ID, e.Mult)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LevelSizes returns the number of nodes in each level 0..Depth.
+func LevelSizes(t *Tree) []int {
+	out := make([]int, 0, t.Depth()+1)
+	for l := 0; l <= t.Depth(); l++ {
+		out = append(out, len(t.Level(l)))
+	}
+	return out
+}

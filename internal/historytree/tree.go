@@ -1,0 +1,282 @@
+// Package historytree implements history trees for anonymous dynamic
+// networks, the central data structure of Di Luna–Viglietta (FOCS 2022) and
+// of the PODC 2023 congested-network algorithm reproduced by this module.
+//
+// A history tree represents the evolution of the indistinguishability
+// classes of a network's processes. Its nodes are partitioned into levels:
+// level -1 contains the root (all processes); a node of level t ≥ 0
+// represents a class of processes that are indistinguishable at the end of
+// round t. Black edges form the refinement tree (a child represents a
+// subset of its parent); red multi-edges connect a node v′ of level t+1 to
+// nodes of level t and record that, at round t+1, every process of v′
+// received exactly Mult messages from processes of the level-t class.
+//
+// The package provides the tree structure itself (with the integer node IDs
+// used by the congested protocol), an oracle that builds the true history
+// tree of any schedule (build.go), view extraction (view.go), canonical
+// forms and isomorphism (canon.go), the cardinality solver that plays the
+// role of the FOCS 2022 "CountFromView" black box (count.go), and ASCII/DOT
+// rendering (render.go).
+package historytree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RootID is the conventional ID of the root node (level -1), following
+// Listing 1 of the paper.
+const RootID = -1
+
+// Input is the initial observable state of a process: its leader flag and
+// an O(log n)-bit input value. Two processes are distinguishable at round 0
+// exactly when their Inputs differ.
+type Input struct {
+	Leader bool
+	Value  int64
+}
+
+// String renders the input compactly, e.g. "L:0" or "7".
+func (in Input) String() string {
+	if in.Leader {
+		return fmt.Sprintf("L:%d", in.Value)
+	}
+	return fmt.Sprintf("%d", in.Value)
+}
+
+// RedEdge is a red multi-edge incident to a node v of level t: the class
+// Src (a node of level t-1) from which every process of v received Mult
+// identical messages at round t.
+type RedEdge struct {
+	Src  *Node
+	Mult int
+}
+
+// Node is one indistinguishability class.
+type Node struct {
+	// ID is the node's unique identifier within its tree. The congested
+	// protocol assigns process IDs equal to the ID of the node representing
+	// them.
+	ID int
+	// Level is the node's level; -1 for the root.
+	Level int
+	// Parent is the black-edge parent (nil for the root).
+	Parent *Node
+	// Children are the black-edge children, in insertion order.
+	Children []*Node
+	// Input is the input labeling, meaningful for level-0 nodes only.
+	Input Input
+	// Red are the red edges towards level Level-1, in insertion order.
+	Red []RedEdge
+}
+
+// RedMult returns the multiplicity of the red edge from src, or 0.
+func (v *Node) RedMult(src *Node) int {
+	for _, e := range v.Red {
+		if e.Src == src {
+			return e.Mult
+		}
+	}
+	return 0
+}
+
+// Tree is a history tree: a root plus a (finite prefix of the infinite)
+// sequence of levels.
+type Tree struct {
+	root   *Node
+	levels [][]*Node // levels[i] holds level i-1; levels[0] = {root}
+	byID   map[int]*Node
+}
+
+// New returns a tree containing only the root node, with ID RootID.
+func New() *Tree {
+	root := &Node{ID: RootID, Level: -1}
+	return &Tree{
+		root:   root,
+		levels: [][]*Node{{root}},
+		byID:   map[int]*Node{RootID: root},
+	}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Depth returns the index of the deepest level present (-1 if only the
+// root exists).
+func (t *Tree) Depth() int { return len(t.levels) - 2 }
+
+// Level returns the nodes of level i (i ≥ -1) in insertion order, or nil if
+// the level does not exist yet. The returned slice must not be modified.
+func (t *Tree) Level(i int) []*Node {
+	idx := i + 1
+	if idx < 0 || idx >= len(t.levels) {
+		return nil
+	}
+	return t.levels[idx]
+}
+
+// NodeByID returns the node with the given ID, or nil.
+func (t *Tree) NodeByID(id int) *Node { return t.byID[id] }
+
+// NumNodes returns the total number of nodes including the root.
+func (t *Tree) NumNodes() int { return len(t.byID) }
+
+// AddChild creates a new node with the given ID as a child of parent.
+// The child's level is parent.Level+1; a new level is materialized if
+// needed. IDs must be unique; levels may only grow one at a time.
+func (t *Tree) AddChild(id int, parent *Node, input Input) (*Node, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("historytree: nil parent for node %d", id)
+	}
+	if _, dup := t.byID[id]; dup {
+		return nil, fmt.Errorf("historytree: duplicate node ID %d", id)
+	}
+	level := parent.Level + 1
+	idx := level + 1
+	if idx > len(t.levels) {
+		return nil, fmt.Errorf("historytree: node %d at level %d but deepest level is %d",
+			id, level, t.Depth())
+	}
+	node := &Node{ID: id, Level: level, Parent: parent, Input: input}
+	parent.Children = append(parent.Children, node)
+	if idx == len(t.levels) {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[idx] = append(t.levels[idx], node)
+	t.byID[id] = node
+	return node, nil
+}
+
+// AddRed records a red edge of multiplicity mult from src (level L-1) to
+// node v (level L). Repeated additions for the same pair accumulate.
+func (t *Tree) AddRed(v, src *Node, mult int) error {
+	if v == nil || src == nil {
+		return fmt.Errorf("historytree: nil endpoint for red edge")
+	}
+	if mult <= 0 {
+		return fmt.Errorf("historytree: non-positive red multiplicity %d", mult)
+	}
+	if src.Level != v.Level-1 {
+		return fmt.Errorf("historytree: red edge from level %d to level %d", src.Level, v.Level)
+	}
+	for i := range v.Red {
+		if v.Red[i].Src == src {
+			v.Red[i].Mult += mult
+			return nil
+		}
+	}
+	v.Red = append(v.Red, RedEdge{Src: src, Mult: mult})
+	return nil
+}
+
+// TruncateLevels removes all levels ≥ from (from ≥ 0), deleting the nodes
+// and any edges incident to them. It implements the reset of Listing 6.
+func (t *Tree) TruncateLevels(from int) {
+	idx := from + 1
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= len(t.levels) {
+		return
+	}
+	for _, level := range t.levels[idx:] {
+		for _, node := range level {
+			delete(t.byID, node.ID)
+		}
+	}
+	t.levels = t.levels[:idx]
+	// Drop black edges into the removed levels.
+	for _, node := range t.levels[len(t.levels)-1] {
+		node.Children = nil
+	}
+}
+
+// RedEdgeCount returns the number of distinct red edges (ignoring
+// multiplicity) in levels 0..maxLevel inclusive; maxLevel < 0 counts the
+// whole tree.
+func (t *Tree) RedEdgeCount(maxLevel int) int {
+	if maxLevel < 0 {
+		maxLevel = t.Depth()
+	}
+	count := 0
+	for l := 0; l <= maxLevel; l++ {
+		for _, v := range t.Level(l) {
+			count += len(v.Red)
+		}
+	}
+	return count
+}
+
+// Clone returns a deep copy of the tree; the copy's nodes are fresh but
+// keep their IDs.
+func (t *Tree) Clone() *Tree {
+	out := New()
+	for l := 0; l <= t.Depth(); l++ {
+		for _, v := range t.Level(l) {
+			parent := out.NodeByID(v.Parent.ID)
+			if _, err := out.AddChild(v.ID, parent, v.Input); err != nil {
+				// Unreachable on a well-formed tree.
+				panic(err)
+			}
+		}
+	}
+	for l := 1; l <= t.Depth(); l++ {
+		for _, v := range t.Level(l) {
+			nv := out.NodeByID(v.ID)
+			for _, e := range v.Red {
+				if err := out.AddRed(nv, out.NodeByID(e.Src.ID), e.Mult); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: level bookkeeping, parent
+// levels, red edge levels and positivity, and ID uniqueness. It returns the
+// first violation found.
+func (t *Tree) Validate() error {
+	seen := make(map[int]bool, len(t.byID))
+	for l := -1; l <= t.Depth(); l++ {
+		for _, v := range t.Level(l) {
+			if v.Level != l {
+				return fmt.Errorf("historytree: node %d stored at level %d has Level=%d", v.ID, l, v.Level)
+			}
+			if seen[v.ID] {
+				return fmt.Errorf("historytree: duplicate ID %d", v.ID)
+			}
+			seen[v.ID] = true
+			if l == -1 {
+				if v.Parent != nil {
+					return fmt.Errorf("historytree: root has a parent")
+				}
+				continue
+			}
+			if v.Parent == nil || v.Parent.Level != l-1 {
+				return fmt.Errorf("historytree: node %d has bad parent", v.ID)
+			}
+			for _, e := range v.Red {
+				if e.Src.Level != l-1 {
+					return fmt.Errorf("historytree: node %d red edge from level %d", v.ID, e.Src.Level)
+				}
+				if e.Mult <= 0 {
+					return fmt.Errorf("historytree: node %d red edge mult %d", v.ID, e.Mult)
+				}
+			}
+		}
+	}
+	if len(seen) != len(t.byID) {
+		return fmt.Errorf("historytree: byID has %d entries, levels have %d", len(t.byID), len(seen))
+	}
+	return nil
+}
+
+// sortedRedKeys returns v's red edges sorted by source ID, for canonical
+// traversals.
+func sortedRedKeys(v *Node) []RedEdge {
+	out := make([]RedEdge, len(v.Red))
+	copy(out, v.Red)
+	sort.Slice(out, func(i, j int) bool { return out[i].Src.ID < out[j].Src.ID })
+	return out
+}

@@ -1,0 +1,101 @@
+package historytree
+
+import "fmt"
+
+// ExtractView returns the generalized view of the given target nodes: the
+// subgraph of t spanned by all shortest root-to-target paths, using black
+// and red edges indifferently (Section 2 of the paper). Since every edge of
+// a history tree connects adjacent levels, this is the closure of the
+// targets under parents and red-edge sources.
+//
+// The result is a fresh Tree whose nodes keep the IDs of the originals.
+// The view of a single process at round t is ExtractView(tree, node) for
+// the node representing it at level t.
+func ExtractView(t *Tree, targets ...*Node) (*Tree, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("historytree: no view targets")
+	}
+	include := make(map[*Node]bool)
+	stack := make([]*Node, 0, len(targets))
+	for _, v := range targets {
+		if v == nil {
+			return nil, fmt.Errorf("historytree: nil view target")
+		}
+		if !include[v] {
+			include[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v.Parent != nil && !include[v.Parent] {
+			include[v.Parent] = true
+			stack = append(stack, v.Parent)
+		}
+		for _, e := range v.Red {
+			if !include[e.Src] {
+				include[e.Src] = true
+				stack = append(stack, e.Src)
+			}
+		}
+	}
+
+	out := New()
+	for l := 0; l <= t.Depth(); l++ {
+		for _, v := range t.Level(l) {
+			if !include[v] {
+				continue
+			}
+			parent := out.NodeByID(v.Parent.ID)
+			if parent == nil {
+				return nil, fmt.Errorf("historytree: view closure missed parent of node %d", v.ID)
+			}
+			nv, err := out.AddChild(v.ID, parent, v.Input)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range v.Red {
+				src := out.NodeByID(e.Src.ID)
+				if src == nil {
+					return nil, fmt.Errorf("historytree: view closure missed red source of node %d", v.ID)
+				}
+				if err := out.AddRed(nv, src, e.Mult); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// IsGeneralizedView reports whether sub (a tree whose node IDs are a subset
+// of t's) is a generalized view of t: every node of sub exists in t with
+// the same parent and red edges, and sub is closed under parents and red
+// sources.
+func IsGeneralizedView(t, sub *Tree) error {
+	for l := 0; l <= sub.Depth(); l++ {
+		for _, v := range sub.Level(l) {
+			orig := t.NodeByID(v.ID)
+			if orig == nil {
+				return fmt.Errorf("historytree: node %d not in base tree", v.ID)
+			}
+			if orig.Level != v.Level {
+				return fmt.Errorf("historytree: node %d at level %d vs %d", v.ID, v.Level, orig.Level)
+			}
+			if orig.Parent.ID != v.Parent.ID {
+				return fmt.Errorf("historytree: node %d parent mismatch", v.ID)
+			}
+			if len(orig.Red) != len(v.Red) {
+				return fmt.Errorf("historytree: node %d has %d red edges in view, %d in base",
+					v.ID, len(v.Red), len(orig.Red))
+			}
+			for _, e := range v.Red {
+				if orig.RedMult(t.NodeByID(e.Src.ID)) != e.Mult {
+					return fmt.Errorf("historytree: node %d red edge to %d mismatch", v.ID, e.Src.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"anondyn/internal/core"
+	"anondyn/internal/dynnet"
+	"anondyn/internal/engine"
+	"anondyn/internal/historytree"
+	"anondyn/internal/wire"
+)
+
+func TestLoggerObservesFullRun(t *testing.T) {
+	n := 5
+	var buf strings.Builder
+	logger := New(&buf)
+	inputs := make([]historytree.Input, n)
+	inputs[0].Leader = true
+	res, err := core.Run(dynnet.NewStatic(dynnet.Path(n)), inputs,
+		core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
+		core.RunOptions{Trace: logger.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("counted %d", res.N)
+	}
+	if logger.Rounds() != res.Stats.Rounds {
+		t.Errorf("logger saw %d rounds, run had %d", logger.Rounds(), res.Stats.Rounds)
+	}
+	// A path run must include Begin, Edge, Done, End, Error, and Reset
+	// traffic (diameter 4 > initial estimate 1 forces resets).
+	for _, lb := range []wire.Label{wire.LabelBegin, wire.LabelEdge, wire.LabelDone,
+		wire.LabelEnd, wire.LabelError, wire.LabelReset} {
+		if logger.LabelTotal(lb) == 0 {
+			t.Errorf("no %s messages observed", lb)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Begin(") || !strings.Contains(out, "Edge(") {
+		t.Error("per-round log missing expected message lines")
+	}
+	sum := logger.Summary()
+	for _, want := range []string{"trace summary", "error phases observed", "reset broadcasts observed"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestLoggerNilWriterCollectsStats(t *testing.T) {
+	logger := New(nil)
+	hook := logger.Hook()
+	hook(1, []engine.Message{wire.Null(), wire.Begin(1)})
+	hook(2, []engine.Message{wire.Edge(1, 2, 3), "not-a-protocol-message"})
+	if logger.Rounds() != 2 {
+		t.Fatalf("rounds=%d", logger.Rounds())
+	}
+	if logger.LabelTotal(wire.LabelEdge) != 1 || logger.LabelTotal(wire.LabelNull) != 1 {
+		t.Fatal("label totals wrong")
+	}
+}
+
+func TestCompressRuns(t *testing.T) {
+	tests := []struct {
+		in   []int
+		want string
+	}{
+		{in: nil, want: ""},
+		{in: []int{3}, want: "3"},
+		{in: []int{3, 4, 5}, want: "3-5"},
+		{in: []int{3, 4, 7, 9, 10}, want: "3-4, 7, 9-10"},
+		{in: []int{1, 1, 2}, want: "1-2"},
+	}
+	for _, tt := range tests {
+		if got := compressRuns(tt.in); got != tt.want {
+			t.Errorf("compressRuns(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeBatchSinglePairIsPlainEdge(t *testing.T) {
+	m, err := EdgeBatch(5, []EdgePair{{ID2: 7, Mult: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Edge(5, 7, 2) {
+		t.Fatalf("got %+v, want plain Edge", m)
+	}
+	pairs, err := m.ExtPairs()
+	if err != nil || pairs != nil {
+		t.Fatalf("single-pair batch should have no Ext, got %v (%v)", pairs, err)
+	}
+}
+
+func TestEdgeBatchEmptyFails(t *testing.T) {
+	if _, err := EdgeBatch(1, nil); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+}
+
+func TestEdgeBatchRoundTrip(t *testing.T) {
+	f := func(id1 int64, rawPairs []int64) bool {
+		if len(rawPairs) == 0 {
+			rawPairs = []int64{1}
+		}
+		if len(rawPairs) > 32 {
+			rawPairs = rawPairs[:32]
+		}
+		pairs := make([]EdgePair, len(rawPairs))
+		for i, v := range rawPairs {
+			pairs[i] = EdgePair{ID2: v, Mult: v/2 + 1}
+		}
+		m, err := EdgeBatch(id1, pairs)
+		if err != nil {
+			return false
+		}
+		// Wire round trip.
+		buf, err := m.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, used, err := Decode(buf)
+		if err != nil || used != len(buf) || got != m {
+			return false
+		}
+		// Semantic round trip: leading triplet + Ext pairs reconstruct the
+		// input.
+		ext, err := got.ExtPairs()
+		if err != nil {
+			return false
+		}
+		recon := append([]EdgePair{{ID2: got.B, Mult: got.C}}, ext...)
+		if len(recon) != len(pairs) {
+			return false
+		}
+		for i := range pairs {
+			if recon[i] != pairs[i] {
+				return false
+			}
+		}
+		return got.A == id1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtOnNonEdgeFailsToEncode(t *testing.T) {
+	m := Done(3)
+	m.Ext = "junk"
+	if _, err := m.Encode(nil); err == nil {
+		t.Fatal("Ext on a non-Edge message must fail to encode")
+	}
+}
+
+func TestBatchSizeGrowsWithPairs(t *testing.T) {
+	small, err := EdgeBatch(1, []EdgePair{{2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EdgeBatch(1, []EdgePair{{2, 1}, {3, 1}, {4, 2}, {5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SizeBits(big) <= SizeBits(small) {
+		t.Fatalf("batch of 4 (%d bits) not larger than batch of 1 (%d bits)",
+			SizeBits(big), SizeBits(small))
+	}
+}
+
+func TestExtPairsCorruptPayload(t *testing.T) {
+	m := Edge(1, 2, 3)
+	m.Ext = "\x80" // truncated varint
+	if _, err := m.ExtPairs(); err == nil {
+		t.Fatal("corrupt Ext must fail to decode")
+	}
+	m.Ext = "\x02" // one varint, missing the Mult
+	if _, err := m.ExtPairs(); err == nil {
+		t.Fatal("odd-length Ext must fail to decode")
+	}
+}

@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	m := Edge(1234, 5678, 3)
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = m.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf, err := Edge(1234, 5678, 3).Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSizeBits(b *testing.B) {
+	m := Reset(12, 100000, 64)
+	for i := 0; i < b.N; i++ {
+		if SizeBits(m) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allLabels() []Label {
+	return []Label{LabelNull, LabelBegin, LabelEnd, LabelDone, LabelEdge,
+		LabelError, LabelReset, LabelInput, LabelHalt}
+}
+
+func TestConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+		want Message
+	}{
+		{name: "null", msg: Null(), want: Message{Label: LabelNull}},
+		{name: "begin", msg: Begin(7), want: Message{Label: LabelBegin, A: 7}},
+		{name: "end", msg: End(), want: Message{Label: LabelEnd}},
+		{name: "done", msg: Done(9), want: Message{Label: LabelDone, A: 9}},
+		{name: "edge", msg: Edge(1, 2, 3), want: Message{Label: LabelEdge, A: 1, B: 2, C: 3}},
+		{name: "error", msg: Error(4), want: Message{Label: LabelError, A: 4}},
+		{name: "reset", msg: Reset(1, 100, 8), want: Message{Label: LabelReset, A: 1, B: 100, C: 8}},
+		{name: "input-leader", msg: Input(0, -5, true), want: Message{Label: LabelInput, A: 0, B: -5, C: 1}},
+		{name: "input-plain", msg: Input(1, 5, false), want: Message{Label: LabelInput, A: 1, B: 5}},
+		{name: "halt", msg: Halt(12, 340), want: Message{Label: LabelHalt, A: 12, B: 340}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.msg != tt.want {
+				t.Fatalf("got %+v, want %+v", tt.msg, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(labelIdx uint8, a, b, c int64) bool {
+		labels := allLabels()
+		m := Message{Label: labels[int(labelIdx)%len(labels)], A: a, B: b, C: c}
+		// Zero out parameters the label does not carry, since they are not
+		// on the wire.
+		switch m.Label.arity() {
+		case 0:
+			m.A, m.B, m.C = 0, 0, 0
+		case 1:
+			m.B, m.C = 0, 0
+		case 2:
+			m.C = 0
+		}
+		buf, err := m.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, used, err := Decode(buf)
+		return err == nil && used == len(buf) && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{name: "empty", buf: nil},
+		{name: "unknown-label", buf: []byte{0xEE}},
+		{name: "truncated-param", buf: []byte{byte(LabelEdge), 0x80}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := Decode(tt.buf); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestEncodeUnknownLabelFails(t *testing.T) {
+	if _, err := (Message{Label: Label(0xEE)}).Encode(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSizeBitsGrowsLogarithmically(t *testing.T) {
+	// A red-edge triplet with parameters bounded by a polynomial in n must
+	// encode in O(log n) bits: 8 bits label + ≤ 3 varints of ~(log n)/7
+	// bytes each.
+	for _, n := range []int64{4, 64, 1024, 1 << 20} {
+		m := Edge(n*n, n*n, n)
+		bits := SizeBits(m)
+		logN := math.Log2(float64(n))
+		if float64(bits) > 8+3*(2*logN/7+2)*8+24 {
+			t.Errorf("n=%d: %d bits exceeds O(log n) budget", n, bits)
+		}
+	}
+	if small, big := SizeBits(Edge(1, 1, 1)), SizeBits(Edge(1<<40, 1<<40, 1<<40)); small >= big {
+		t.Errorf("sizes not monotone: %d vs %d", small, big)
+	}
+}
+
+func TestSizeBitsMatchesEncoding(t *testing.T) {
+	msgs := []Message{Null(), Begin(3), End(), Done(500), Edge(70, 80, 90),
+		Error(2), Reset(1, 100000, 16), Input(1, -7, true), Halt(9, 1234)}
+	for _, m := range msgs {
+		buf, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if SizeBits(m) != 8*len(buf) {
+			t.Errorf("%s: SizeBits=%d, encoding is %d bits", m, SizeBits(m), 8*len(buf))
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		msg  Message
+		want string
+	}{
+		{msg: Null(), want: "Null"},
+		{msg: End(), want: "End"},
+		{msg: Begin(3), want: "Begin(3)"},
+		{msg: Done(4), want: "Done(4)"},
+		{msg: Error(2), want: "Error(2)"},
+		{msg: Edge(1, 2, 3), want: "Edge(1,2,3)"},
+		{msg: Reset(1, 2, 3), want: "Reset(1,2,3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.msg.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	if Label(0xEE).String() != "Label(238)" {
+		t.Errorf("unknown label string: %s", Label(0xEE))
+	}
+}
+
+func TestDecodeTrailingBytesReported(t *testing.T) {
+	buf, err := Done(5).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xFF, 0xFF)
+	m, used, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Done(5) || used != len(buf)-2 {
+		t.Fatalf("m=%v used=%d", m, used)
+	}
+}
