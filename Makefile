@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The tier-1 gate plus the race detector — run before every commit.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

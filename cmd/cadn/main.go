@@ -10,189 +10,144 @@
 //	go run ./cmd/cadn -n 6 -T 4                    # 4-union-connected network
 //	go run ./cmd/cadn -n 6 -leaderless -inputs 0,0,1,1,1,2
 //	go run ./cmd/cadn -n 8 -halt                   # simultaneous termination
+//
+// Flag combinations are validated up front; invalid usage exits with
+// status 2, runtime failures with status 1. The same parameter surface is
+// served over HTTP by cmd/cadnd.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"anondyn"
+	"anondyn/internal/engine"
+	"anondyn/internal/service"
 	"anondyn/internal/trace"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain parses and validates the flags, then runs the simulation. It
+// returns the process exit code: 0 on success, 1 on a runtime failure,
+// 2 on invalid usage (bad flags or flag combinations).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cadn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n          = flag.Int("n", 8, "number of processes")
-		topology   = flag.String("topology", "random", "adversary: random, path, cycle, complete, star, rotating-star, shifting-path, bottleneck, isolator (adaptive)")
-		density    = flag.Float64("p", 0.3, "extra-edge probability for the random adversary")
-		seed       = flag.Int64("seed", 1, "adversary RNG seed")
-		blockT     = flag.Int("T", 1, "dynamic disconnectivity (T-union-connected extension)")
-		leaderless = flag.Bool("leaderless", false, "run the leaderless frequency algorithm (requires -inputs)")
-		inputsFlag = flag.String("inputs", "", "comma-separated input values, one per process (enables Generalized Counting)")
-		halt       = flag.Bool("halt", false, "simultaneous termination: all processes output n at the same round")
-		bitLimit   = flag.Int("bitlimit", 0, "abort if any message exceeds this many bits (0 = off)")
-		showTree   = flag.Bool("tree", false, "print the final virtual history tree")
-		fine       = flag.Bool("fine", false, "fine-grained resets (Section 5 'Optimized running time')")
-		batch      = flag.Int("batch", 0, "batch up to this many observations per Edge message (Section 6 tradeoff)")
-		keepAll    = flag.Bool("keepall", false, "ablation: disable the Section 3.4 spanning-tree restriction")
-		eager      = flag.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
-		traceFlag  = flag.Bool("trace", false, "print a per-round protocol trace and summary")
+		n          = fs.Int("n", 8, "number of processes")
+		topology   = fs.String("topology", "random", "adversary: random, path, cycle, complete, star, rotating-star, shifting-path, bottleneck, isolator (adaptive)")
+		density    = fs.Float64("p", 0.3, "extra-edge probability for the random adversary")
+		seed       = fs.Int64("seed", 1, "adversary RNG seed")
+		blockT     = fs.Int("T", 1, "dynamic disconnectivity (T-union-connected extension)")
+		leaderless = fs.Bool("leaderless", false, "run the leaderless frequency algorithm (requires -inputs)")
+		inputsFlag = fs.String("inputs", "", "comma-separated input values, one per process (enables Generalized Counting)")
+		halt       = fs.Bool("halt", false, "simultaneous termination: all processes output n at the same round")
+		bitLimit   = fs.Int("bitlimit", 0, "abort if any message exceeds this many bits (0 = off)")
+		showTree   = fs.Bool("tree", false, "print the final virtual history tree")
+		fine       = fs.Bool("fine", false, "fine-grained resets (Section 5 'Optimized running time')")
+		batch      = fs.Int("batch", 0, "batch up to this many observations per Edge message (Section 6 tradeoff)")
+		keepAll    = fs.Bool("keepall", false, "ablation: disable the Section 3.4 spanning-tree restriction")
+		eager      = fs.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
+		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
 	)
-	flag.Parse()
-	opts := protoOptions{
-		fine:    *fine,
-		batch:   *batch,
-		keepAll: *keepAll,
-		eager:   *eager,
-		trace:   *traceFlag,
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := run(*n, *topology, *density, *seed, *blockT, *leaderless, *inputsFlag, *halt, *bitLimit, *showTree, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "cadn:", err)
-		os.Exit(1)
-	}
-}
-
-// protoOptions bundles the protocol variant flags.
-type protoOptions struct {
-	fine    bool
-	batch   int
-	keepAll bool
-	eager   bool
-	trace   bool
-}
-
-func run(n int, topology string, density float64, seed int64, blockT int,
-	leaderless bool, inputsFlag string, halt bool, bitLimit int, showTree bool,
-	opts protoOptions) error {
-	var sched anondyn.Schedule
-	if topology != "isolator" {
-		var err error
-		sched, err = makeSchedule(n, topology, density, seed)
-		if err != nil {
-			return err
-		}
-	}
-	if blockT > 1 && sched != nil {
-		var err error
-		sched, err = anondyn.UnionConnected(sched, blockT)
-		if err != nil {
-			return err
-		}
-	}
-
-	inputs, err := makeInputs(n, inputsFlag, !leaderless)
+	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
+		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
+		return 2
 	}
+	if err := run(spec, *showTree, *traceFlag, stdout); err != nil {
+		fmt.Fprintln(stderr, "cadn:", err)
+		return 1
+	}
+	return 0
+}
 
-	cfg := anondyn.Config{
-		Mode:             anondyn.ModeLeader,
-		BuildInputLevel:  inputsFlag != "",
-		SimultaneousHalt: halt,
-		BlockT:           blockT,
-		MaxLevels:        3*n + 8,
-		FineGrainedReset: opts.fine,
-		BatchSize:        opts.batch,
-		KeepAllLinks:     opts.keepAll,
-		EagerTermination: opts.eager,
+// buildSpec assembles and validates the job spec described by the flags.
+// Any error it returns is a usage error (exit status 2).
+func buildSpec(n int, topology string, density float64, seed int64, blockT int,
+	leaderless bool, inputsFlag string, halt bool, bitLimit int,
+	fine bool, batch int, keepAll, eager bool) (service.JobSpec, error) {
+	spec := service.JobSpec{
+		N:          n,
+		Topology:   topology,
+		Density:    density,
+		Seed:       seed,
+		BlockT:     blockT,
+		Leaderless: leaderless,
+		Halt:       halt,
+		BitLimit:   bitLimit,
+		Fine:       fine,
+		Batch:      batch,
+		KeepAll:    keepAll,
+		Eager:      eager,
 	}
-	if leaderless {
-		cfg.Mode = anondyn.ModeLeaderless
-		cfg.DiamBound = n * blockT
-		cfg.SimultaneousHalt = false
-	}
-
-	runOpts := anondyn.RunOptions{BitLimit: bitLimit}
-	var logger *trace.Logger
-	if opts.trace {
-		logger = trace.New(os.Stdout)
-		runOpts.Trace = logger.Hook()
-	}
-	var res *anondyn.RunResult
-	if topology == "isolator" {
-		if leaderless {
-			return fmt.Errorf("the isolator adversary targets the leader; leaderless mode unsupported")
+	if inputsFlag != "" {
+		parts := strings.Split(inputsFlag, ",")
+		spec.Inputs = make([]int64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("-inputs value %d: %v", i, err)
+			}
+			spec.Inputs[i] = v
 		}
-		res, err = anondyn.RunAdaptive(anondyn.Isolator(n, 0), inputs, cfg, runOpts)
-	} else {
-		res, err = anondyn.Run(sched, inputs, cfg, runOpts)
 	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// run executes the validated spec and prints the result.
+func run(spec service.JobSpec, showTree, traceOn bool, w io.Writer) error {
+	var logger *trace.Logger
+	var hook func(round int, sent []engine.Message)
+	if traceOn {
+		logger = trace.New(w)
+		hook = logger.Hook()
+	}
+	res, err := spec.Run(context.Background(), hook)
 	if err != nil {
 		return err
 	}
 	if logger != nil {
-		fmt.Print(logger.Summary())
+		fmt.Fprint(w, logger.Summary())
 	}
 
-	if leaderless {
-		fmt.Printf("frequencies (shares of minimal size %d):\n", res.Frequencies.MinSize)
+	if spec.Leaderless {
+		fmt.Fprintf(w, "frequencies (shares of minimal size %d):\n", res.Frequencies.MinSize)
 		for in, share := range res.Frequencies.Shares {
-			fmt.Printf("  input %s: %d/%d\n", in, share, res.Frequencies.MinSize)
+			fmt.Fprintf(w, "  input %s: %d/%d\n", in, share, res.Frequencies.MinSize)
 		}
 	} else {
-		fmt.Printf("n = %d\n", res.N)
+		fmt.Fprintf(w, "n = %d\n", res.N)
 		if len(res.Multiset) > 0 {
-			fmt.Println("input multiset:")
+			fmt.Fprintln(w, "input multiset:")
 			for in, c := range res.Multiset {
-				fmt.Printf("  %s: %d\n", in, c)
+				fmt.Fprintf(w, "  %s: %d\n", in, c)
 			}
 		}
 	}
-	fmt.Printf("rounds=%d levels=%d resets=%d finalDiamEstimate=%d\n",
+	fmt.Fprintf(w, "rounds=%d levels=%d resets=%d finalDiamEstimate=%d\n",
 		res.Stats.Rounds, res.Stats.Levels, res.Stats.Resets, res.Stats.FinalDiamEstimate)
-	fmt.Printf("messages=%d maxMessageBits=%d totalBits=%d\n",
+	fmt.Fprintf(w, "messages=%d maxMessageBits=%d totalBits=%d\n",
 		res.Stats.TotalMessages, res.Stats.MaxMessageBits, res.Stats.TotalBits)
 	if showTree && res.VHT != nil {
-		fmt.Println("virtual history tree:")
-		fmt.Print(anondyn.RenderTree(res.VHT))
+		fmt.Fprintln(w, "virtual history tree:")
+		fmt.Fprint(w, anondyn.RenderTree(res.VHT))
 	}
 	return nil
-}
-
-func makeSchedule(n int, topology string, density float64, seed int64) (anondyn.Schedule, error) {
-	switch topology {
-	case "random":
-		return anondyn.RandomConnected(n, density, seed), nil
-	case "path":
-		return anondyn.Static(anondyn.Path(n)), nil
-	case "cycle":
-		return anondyn.Static(anondyn.Cycle(n)), nil
-	case "complete":
-		return anondyn.Static(anondyn.Complete(n)), nil
-	case "star":
-		return anondyn.Static(anondyn.Star(n, 0)), nil
-	case "rotating-star":
-		return anondyn.RotatingStar(n), nil
-	case "shifting-path":
-		return anondyn.ShiftingPath(n), nil
-	case "bottleneck":
-		return anondyn.Bottleneck(n), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", topology)
-	}
-}
-
-func makeInputs(n int, inputsFlag string, withLeader bool) ([]anondyn.Input, error) {
-	inputs := make([]anondyn.Input, n)
-	if withLeader && n > 0 {
-		inputs[0].Leader = true
-	}
-	if inputsFlag == "" {
-		return inputs, nil
-	}
-	parts := strings.Split(inputsFlag, ",")
-	if len(parts) != n {
-		return nil, fmt.Errorf("-inputs has %d values for %d processes", len(parts), n)
-	}
-	for i, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("-inputs value %d: %v", i, err)
-		}
-		inputs[i].Value = v
-	}
-	return inputs, nil
 }

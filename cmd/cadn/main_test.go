@@ -1,15 +1,33 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"anondyn/internal/service"
+)
+
+func specFor(t *testing.T, n int, topo string, opts func(*service.JobSpec)) service.JobSpec {
+	t.Helper()
+	spec := service.JobSpec{N: n, Topology: topo, Density: 0.3, Seed: 1}
+	if opts != nil {
+		opts(&spec)
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec should be valid: %v", err)
+	}
+	return spec
+}
 
 func TestRunLeaderTopologies(t *testing.T) {
 	for _, topo := range []string{"random", "path", "cycle", "complete", "star",
 		"rotating-star", "shifting-path", "bottleneck", "isolator"} {
 		topo := topo
 		t.Run(topo, func(t *testing.T) {
-			err := run(5, topo, 0.3, 1 /* seed */, 1 /* T */, false /* leaderless */, "",
-				false /* halt */, 0 /* bitLimit */, true /* tree */, protoOptions{})
-			if err != nil {
+			spec := specFor(t, 5, topo, nil)
+			if err := run(spec, true /* tree */, false, io.Discard); err != nil {
 				t.Fatalf("run(%s): %v", topo, err)
 			}
 		})
@@ -19,63 +37,157 @@ func TestRunLeaderTopologies(t *testing.T) {
 func TestRunVariants(t *testing.T) {
 	tests := []struct {
 		name string
-		do   func() error
+		spec func(*testing.T) service.JobSpec
 	}{
-		{name: "leaderless", do: func() error {
-			return run(4, "random", 0.4, 2, 1, true, "0,0,1,1", false, 0, false, protoOptions{})
+		{name: "leaderless", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 4, "random", func(s *service.JobSpec) {
+				s.Leaderless = true
+				s.Inputs = []int64{0, 0, 1, 1}
+				s.Density = 0.4
+				s.Seed = 2
+			})
 		}},
-		{name: "generalized-halt", do: func() error {
-			return run(4, "random", 0.4, 2, 1, false, "5,6,6,7", true, 0, false, protoOptions{})
+		{name: "generalized-halt", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 4, "random", func(s *service.JobSpec) {
+				s.Inputs = []int64{5, 6, 6, 7}
+				s.Halt = true
+				s.Density = 0.4
+				s.Seed = 2
+			})
 		}},
-		{name: "union-connected", do: func() error {
-			return run(4, "random", 0.5, 3, 2, false, "", false, 0, false, protoOptions{})
+		{name: "union-connected", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 4, "random", func(s *service.JobSpec) {
+				s.BlockT = 2
+				s.Density = 0.5
+				s.Seed = 3
+			})
 		}},
-		{name: "fine+batch+trace", do: func() error {
-			return run(5, "shifting-path", 0, 1, 1, false, "", false, 0, false,
-				protoOptions{fine: true, batch: 3, trace: true})
+		{name: "keepall-eager", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 4, "random", func(s *service.JobSpec) {
+				s.KeepAll = true
+				s.Eager = true
+				s.Density = 0.5
+				s.Seed = 4
+			})
 		}},
-		{name: "keepall+eager", do: func() error {
-			return run(4, "random", 0.5, 4, 1, false, "", false, 0, false,
-				protoOptions{keepAll: true, eager: true})
-		}},
-		{name: "bitlimit-generous", do: func() error {
-			return run(4, "random", 0.4, 5, 1, false, "", false, 128, false, protoOptions{})
+		{name: "bitlimit-generous", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 4, "random", func(s *service.JobSpec) {
+				s.BitLimit = 128
+				s.Density = 0.4
+				s.Seed = 5
+			})
 		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := tt.do(); err != nil {
+			if err := run(tt.spec(t), false, false, io.Discard); err != nil {
 				t.Fatal(err)
 			}
 		})
 	}
 }
 
-func TestRunErrors(t *testing.T) {
+// TestRunTraceSummary keeps the -trace plumbing covered: the per-round log
+// and summary must reach the writer.
+func TestRunTraceSummary(t *testing.T) {
+	spec := specFor(t, 5, "shifting-path", func(s *service.JobSpec) {
+		s.Fine = true
+		s.Batch = 3
+	})
+	var buf strings.Builder
+	if err := run(spec, false, true /* trace */, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace summary", "n = 5", "rounds="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestValidateFlagCombinations is the up-front usage validation: every bad
+// combination must be rejected before any simulation starts.
+func TestValidateFlagCombinations(t *testing.T) {
+	type args struct {
+		n          int
+		topology   string
+		density    float64
+		seed       int64
+		blockT     int
+		leaderless bool
+		inputs     string
+		halt       bool
+		bitLimit   int
+		fine       bool
+		batch      int
+	}
+	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1}
 	tests := []struct {
-		name string
-		do   func() error
+		name    string
+		mut     func(*args)
+		wantErr string
 	}{
-		{name: "unknown-topology", do: func() error {
-			return run(4, "nonsense", 0.3, 1, 1, false, "", false, 0, false, protoOptions{})
-		}},
-		{name: "inputs-count-mismatch", do: func() error {
-			return run(4, "random", 0.3, 1, 1, false, "1,2", false, 0, false, protoOptions{})
-		}},
-		{name: "inputs-not-numeric", do: func() error {
-			return run(2, "random", 0.3, 1, 1, false, "a,b", false, 0, false, protoOptions{})
-		}},
-		{name: "isolator-leaderless", do: func() error {
-			return run(4, "isolator", 0.3, 1, 1, true, "0,0,1,1", false, 0, false, protoOptions{})
-		}},
-		{name: "bitlimit-too-small", do: func() error {
-			return run(4, "random", 0.3, 1, 1, false, "", false, 8, false, protoOptions{})
-		}},
+		{name: "valid-baseline", mut: func(a *args) {}, wantErr: ""},
+		{name: "negative-n", mut: func(a *args) { a.n = -4 }, wantErr: "n must be positive"},
+		{name: "zero-n", mut: func(a *args) { a.n = 0 }, wantErr: "n must be positive"},
+		{name: "unknown-topology", mut: func(a *args) { a.topology = "nonsense" }, wantErr: "unknown topology"},
+		{name: "density-out-of-range", mut: func(a *args) { a.density = 1.7 }, wantErr: "density"},
+		{name: "negative-batch", mut: func(a *args) { a.batch = -2 }, wantErr: "batch"},
+		{name: "negative-bitlimit", mut: func(a *args) { a.bitLimit = -1 }, wantErr: "bitLimit"},
+		{name: "leaderless-without-inputs", mut: func(a *args) { a.leaderless = true },
+			wantErr: "requires per-process inputs"},
+		{name: "leaderless-halt", mut: func(a *args) { a.leaderless = true; a.inputs = "0,0,1,1"; a.halt = true },
+			wantErr: "halt"},
+		{name: "leaderless-fine", mut: func(a *args) { a.leaderless = true; a.inputs = "0,0,1,1"; a.fine = true },
+			wantErr: "fine-grained"},
+		{name: "leaderless-isolator", mut: func(a *args) { a.leaderless = true; a.inputs = "0,0,1,1"; a.topology = "isolator" },
+			wantErr: "isolator"},
+		{name: "isolator-with-T", mut: func(a *args) { a.topology = "isolator"; a.blockT = 3 }, wantErr: "isolator"},
+		{name: "inputs-count-mismatch", mut: func(a *args) { a.inputs = "1,2" }, wantErr: "input values"},
+		{name: "inputs-not-numeric", mut: func(a *args) { a.inputs = "a,b,c,d" }, wantErr: "-inputs value"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := tt.do(); err == nil {
-				t.Fatal("expected error")
+			a := ok
+			tt.mut(&a)
+			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
+				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestExitCodes pins the CLI contract: usage errors exit 2, runtime
+// failures exit 1, success exits 0.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{name: "success", args: []string{"-n", "4", "-seed", "1"}, want: 0},
+		{name: "bad-flag", args: []string{"-no-such-flag"}, want: 2},
+		{name: "negative-n", args: []string{"-n", "-3"}, want: 2},
+		{name: "leaderless-without-inputs", args: []string{"-n", "4", "-leaderless"}, want: 2},
+		{name: "negative-batch", args: []string{"-n", "4", "-batch", "-1"}, want: 2},
+		{name: "runtime-bitlimit", args: []string{"-n", "4", "-bitlimit", "8"}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if got := realMain(tt.args, &out, &errOut); got != tt.want {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", got, tt.want, errOut.String())
 			}
 		})
 	}

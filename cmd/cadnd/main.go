@@ -1,0 +1,89 @@
+// Command cadnd is the counting-simulation daemon: a long-running HTTP/JSON
+// service that accepts simulation jobs (the same parameter surface as
+// cmd/cadn), runs them on a bounded worker pool, deduplicates identical
+// deterministic runs through an LRU result cache, and streams per-round
+// progress.
+//
+// Start it and talk to it with curl:
+//
+//	cadnd -addr 127.0.0.1:8080 &
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"n":8,"seed":1}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -sN localhost:8080/v1/jobs/job-000001/events   # NDJSON stream
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001 # cancel
+//	curl -s localhost:8080/v1/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
+// jobs drain, and only after -drain elapses are in-flight simulations
+// force-cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"anondyn/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation workers")
+		cache   = flag.Int("cache", 256, "result-cache capacity (entries; 0 disables)")
+		queue   = flag.Int("queue", 1024, "job-queue capacity")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+	if err := serve(*addr, *workers, *cache, *queue, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "cadnd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, workers, cache, queue int, drain time.Duration) error {
+	cacheCap := cache
+	if cacheCap == 0 {
+		cacheCap = -1 // ServerConfig treats 0 as "default", negative as off
+	}
+	srv, err := service.NewServer(service.ServerConfig{
+		Addr:      addr,
+		Workers:   workers,
+		CacheSize: cacheCap,
+		QueueSize: queue,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("cadnd: serving on http://%s (%d workers, cache %d, queue %d)",
+		srv.Addr(), workers, cache, queue)
+	return serveOn(srv, drain)
+}
+
+// serveOn runs an already-bound server until a termination signal arrives,
+// then shuts it down gracefully within the drain budget.
+func serveOn(srv *service.Server, drain time.Duration) error {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigs:
+		log.Printf("cadnd: %s — draining (budget %v)", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cadnd: shutdown cancelled in-flight jobs: %v", err)
+		}
+		return <-errc
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"anondyn/internal/service"
+)
+
+// TestServeLifecycle boots the daemon on an ephemeral port, runs one job
+// through the HTTP API, and shuts it down via the signal path.
+func TestServeLifecycle(t *testing.T) {
+	srv, err := service.NewServer(service.ServerConfig{Workers: 2, CacheSize: 16, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveOn(srv, 10*time.Second) }()
+	base := "http://" + srv.Addr()
+
+	// Wait for the listener to serve; serveOn registers its signal handler
+	// before serving, so a healthy endpoint implies the SIGTERM path is
+	// armed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// One job end to end through the daemon.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"n":5,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	job, ok := srv.Manager().Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not found", st.ID)
+	}
+	final, err := service.WaitTerminal(job, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.JobDone || final.Result == nil || final.Result.N != 5 {
+		t.Fatalf("job outcome: %+v", final)
+	}
+
+	// SIGTERM must drain and exit cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after SIGTERM")
+	}
+}
+
+// TestServeBadAddr verifies that an unusable listen address surfaces as an
+// error instead of a hang.
+func TestServeBadAddr(t *testing.T) {
+	if err := serve("256.256.256.256:99999", 1, 1, 1, time.Second); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

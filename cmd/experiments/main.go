@@ -1,15 +1,18 @@
-// Command experiments regenerates every reproduction experiment (E1–E11 in
+// Command experiments regenerates every reproduction experiment (E1–E14 in
 // DESIGN.md) and prints the tables recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	go run ./cmd/experiments            # run everything
-//	go run ./cmd/experiments -only E4   # run one experiment
+//	go run ./cmd/experiments                     # run everything
+//	go run ./cmd/experiments -only E4            # run one experiment
+//	go run ./cmd/experiments -json BENCH_E4.json # also record NDJSON rows
+//	go run ./cmd/experiments -only E4 -json -    # NDJSON to stdout only
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"anondyn/internal/bench"
@@ -18,14 +21,15 @@ import (
 func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E4)")
 	format := flag.String("format", "text", "output format: text or markdown")
+	jsonPath := flag.String("json", "", "also write each table's rows as NDJSON to this file ('-' replaces the text output on stdout)")
 	flag.Parse()
-	if err := run(*only, *format); err != nil {
+	if err := run(os.Stdout, *only, *format, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only, format string) error {
+func run(stdout io.Writer, only, format, jsonPath string) error {
 	render := bench.Render
 	switch format {
 	case "text":
@@ -34,15 +38,45 @@ func run(only, format string) error {
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
+
+	// -json targets a file alongside the human-readable tables; "-" means
+	// NDJSON is the stdout output itself.
+	var jsonOut io.Writer
+	switch jsonPath {
+	case "":
+	case "-":
+		jsonOut = stdout
+		render = nil
+	default:
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return fmt.Errorf("create -json file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		jsonOut = f
+	}
+
+	ran := 0
 	for _, e := range bench.All() {
 		if only != "" && e.ID != only {
 			continue
 		}
+		ran++
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s (%s): %w", e.ID, e.Name, err)
 		}
-		fmt.Println(render(table))
+		if render != nil {
+			fmt.Fprintln(stdout, render(table))
+		}
+		if jsonOut != nil {
+			if _, err := io.WriteString(jsonOut, bench.RenderJSON(table)); err != nil {
+				return fmt.Errorf("write -json rows: %w", err)
+			}
+		}
+	}
+	if only != "" && ran == 0 {
+		return fmt.Errorf("unknown experiment %q", only)
 	}
 	return nil
 }

@@ -1,18 +1,85 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperimentBothFormats(t *testing.T) {
-	if err := run("E1", "text"); err != nil {
+	var out strings.Builder
+	if err := run(&out, "E1", "text", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("E1", "markdown"); err != nil {
+	if !strings.Contains(out.String(), "E1") {
+		t.Fatal("text output missing experiment header")
+	}
+	if err := run(&out, "E1", "markdown", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFormat(t *testing.T) {
-	if err := run("E1", "csv"); err == nil {
+	if err := run(&strings.Builder{}, "E1", "csv", ""); err == nil {
 		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(&strings.Builder{}, "E99", "text", ""); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestRunJSONFile checks the -json path: the text table still goes to
+// stdout while machine-readable NDJSON rows land in the file.
+func TestRunJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_E1.json")
+	var out strings.Builder
+	if err := run(&out, "E1", "text", path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E1") {
+		t.Fatal("text table suppressed although -json targeted a file")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	lines := 0
+	for scanner.Scan() {
+		lines++
+		var row struct {
+			Experiment string            `json:"experiment"`
+			Title      string            `json:"title"`
+			Columns    map[string]string `json:"columns"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &row); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if row.Experiment != "E1" || len(row.Columns) == 0 {
+			t.Fatalf("line %d malformed: %s", lines, scanner.Text())
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no NDJSON rows written")
+	}
+}
+
+// TestRunJSONStdout checks -json '-': NDJSON replaces the text output.
+func TestRunJSONStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "E1", "text", "-"); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("stdout line %d is not JSON: %s", i+1, line)
+		}
 	}
 }

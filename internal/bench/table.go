@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -65,6 +66,46 @@ func RenderMarkdown(t *Table) string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Row is the machine-readable form of one table row: the experiment
+// identity plus a column→cell map. Streams of Rows (NDJSON) are the format
+// future PRs record as BENCH_*.json to track the perf trajectory.
+type Row struct {
+	Experiment string            `json:"experiment"`
+	Title      string            `json:"title"`
+	Claim      string            `json:"claim,omitempty"`
+	Columns    map[string]string `json:"columns"`
+}
+
+// JSONRows converts the table to its machine-readable rows.
+func JSONRows(t *Table) []Row {
+	rows := make([]Row, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		cols := make(map[string]string, len(t.Header))
+		for i, h := range t.Header {
+			if i < len(r) {
+				cols[h] = r[i]
+			}
+		}
+		rows = append(rows, Row{Experiment: t.ID, Title: t.Title, Claim: t.Claim, Columns: cols})
+	}
+	return rows
+}
+
+// RenderJSON formats the table as NDJSON: one JSON object per row.
+func RenderJSON(t *Table) string {
+	var b strings.Builder
+	for _, row := range JSONRows(t) {
+		line, err := json.Marshal(row)
+		if err != nil {
+			// Row contains only strings; marshalling cannot fail.
+			panic(fmt.Sprintf("bench: marshal row: %v", err))
+		}
+		b.Write(line)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:     "E0",
+		Title:  "sample",
+		Claim:  "shape holds",
+		Header: []string{"n", "rounds"},
+		Rows:   [][]string{{"4", "100"}, {"8", "800"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestJSONRows(t *testing.T) {
+	rows := JSONRows(sampleTable())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Experiment != "E0" || rows[0].Columns["n"] != "4" || rows[0].Columns["rounds"] != "100" {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+	if rows[1].Columns["rounds"] != "800" {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+}
+
+func TestRenderJSONIsNDJSON(t *testing.T) {
+	out := RenderJSON(sampleTable())
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var row Row
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if row.Experiment != "E0" || row.Title != "sample" {
+			t.Fatalf("line %d round-trip: %+v", i, row)
+		}
+	}
+}
+
+// TestRenderJSONRaggedRow guards against header/row length mismatches.
+func TestRenderJSONRaggedRow(t *testing.T) {
+	tab := sampleTable()
+	tab.Rows = append(tab.Rows, []string{"lonely"})
+	rows := JSONRows(tab)
+	if got := rows[2].Columns; len(got) != 1 || got["n"] != "lonely" {
+		t.Fatalf("ragged row: %+v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,6 +48,11 @@ type RunResult struct {
 
 // RunOptions bundles the engine-level knobs of Run.
 type RunOptions struct {
+	// Ctx, if non-nil, cancels the run externally: when it is done, the
+	// engine stops every process goroutine promptly (no goroutines leak)
+	// and Run returns an error wrapping the context's cause. Nil means no
+	// external cancellation (context.Background()).
+	Ctx context.Context
 	// MaxRounds caps the run; 0 derives a generous default from n and the
 	// configuration (≈ 400·T·n³·log n real rounds plus slack).
 	MaxRounds int
@@ -107,7 +113,11 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		}
 	}
 
-	res, err := engine.Run(ecfg, procs)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := engine.RunContext(ctx, ecfg, procs)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -124,6 +125,16 @@ type Result struct {
 // Run executes one coroutine per process over cfg.Schedule and returns the
 // collected outputs. len(procs) must equal cfg.Schedule.N().
 func Run(cfg Config, procs []Coroutine) (*Result, error) {
+	return RunContext(context.Background(), cfg, procs)
+}
+
+// RunContext is Run with external cancellation: when ctx is cancelled the
+// coordinator stops the run at the next scheduling point (between rounds or
+// while waiting for submissions), releases every process goroutine, waits
+// for them to exit, and returns an error wrapping ctx's cause. The partial
+// Result (rounds executed so far, outputs already produced) is still
+// returned alongside the error.
+func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, error) {
 	var n int
 	switch {
 	case cfg.Schedule != nil && cfg.Adaptive != nil:
@@ -141,8 +152,12 @@ func Run(cfg Config, procs []Coroutine) (*Result, error) {
 	if cfg.MaxRounds <= 0 {
 		return nil, fmt.Errorf("engine: non-positive MaxRounds %d", cfg.MaxRounds)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := &coordinator{
 		cfg:    cfg,
+		ctx:    ctx,
 		n:      n,
 		events: make(chan event),
 		stop:   make(chan struct{}),
@@ -181,6 +196,7 @@ const (
 
 type coordinator struct {
 	cfg    Config
+	ctx    context.Context
 	n      int
 	events chan event
 	stop   chan struct{}
@@ -260,6 +276,10 @@ func (c *coordinator) run(procs []Coroutine) (*Result, error) {
 
 loop:
 	for {
+		if err := c.ctx.Err(); err != nil {
+			runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(c.ctx))
+			break
+		}
 		alive, waiting := c.census()
 		if alive == 0 {
 			break // every process returned
@@ -279,7 +299,13 @@ loop:
 			}
 			continue
 		}
-		ev := <-c.events
+		var ev event
+		select {
+		case ev = <-c.events:
+		case <-c.ctx.Done():
+			runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(c.ctx))
+			break loop
+		}
 		switch ev.kind {
 		case evSubmit:
 			c.state[ev.pid] = stateWaiting

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"testing"
 	"time"
@@ -60,6 +62,63 @@ func TestNoGoroutineLeaks(t *testing.T) {
 				return nil
 			}
 			return nil // ErrMaxRounds expected
+		}},
+		{name: "context-cancel-pre-cancelled", do: func() error {
+			forever := CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Path(3)), MaxRounds: 1 << 20},
+				[]Coroutine{forever, forever, forever})
+			if !errors.Is(err, context.Canceled) {
+				return err
+			}
+			return nil
+		}},
+		{name: "context-cancel-mid-round", do: func() error {
+			// One process stalls before submitting its round-4 message, so
+			// the coordinator is parked waiting for submissions when the
+			// cancellation lands — the cancel path must release both the
+			// submitted processes (blocked on the round barrier) and, once
+			// the straggler wakes, the straggler itself.
+			release := make(chan struct{})
+			straggler := CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if tr.Round() == 3 {
+						<-release
+					}
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+			})
+			forever := CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if _, err := tr.SendAndReceive(nil); err != nil {
+						return nil, err
+					}
+				}
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Cycle(3)), MaxRounds: 1 << 20},
+					[]Coroutine{straggler, forever, forever})
+				done <- err
+			}()
+			time.Sleep(5 * time.Millisecond) // let the run reach round 4 and park
+			cancel()
+			close(release)
+			err := <-done
+			if !errors.Is(err, context.Canceled) {
+				return err
+			}
+			return nil
 		}},
 	}
 	for _, r := range runs {

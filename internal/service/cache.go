@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU of simulation results keyed by JobSpec.Hash().
+// Simulations are deterministic in their spec, so a hit is exact: the
+// cached result is byte-for-byte what a re-run would produce. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result *Result
+}
+
+// NewCache returns an LRU cache holding at most capacity results.
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, marking it most recently used.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores the result under the key, evicting the least recently used
+// entry if the cache is full.
+func (c *Cache) Put(key string, r *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: r})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func res(n int) *Result { return &Result{N: n} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 1; i <= 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), res(i))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	// Touch k1 so k2 becomes the eviction victim.
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	c.Put("k4", res(4))
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", res(1))
+	c.Put("k", res(2))
+	if c.Len() != 1 {
+		t.Fatalf("len=%d after double put", c.Len())
+	}
+	if r, _ := c.Get("k"); r.N != 2 {
+		t.Fatalf("stale value %d", r.N)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", res(1))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("capacity 0 must disable caching")
+	}
+}

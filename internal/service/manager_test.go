@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// longSpec is a worst-case job (adaptive isolator, O(n³) rounds) that takes
+// far longer than any test timeout, so it is guaranteed to still be running
+// when cancelled.
+func longSpec() JobSpec { return JobSpec{N: 20, Topology: "isolator"} }
+
+func quickSpec(seed int64) JobSpec { return JobSpec{N: 5, Seed: seed} }
+
+func TestManagerCancelQueuedJob(t *testing.T) {
+	m := NewManager(1, 8, 8) // one worker, so the second job queues
+	defer func() { _ = m.Shutdown(contextWithTimeout(t, 30*time.Second)) }()
+
+	running, err := m.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel the queued job before the worker can reach it.
+	if err := m.Cancel(queued.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	st, err := WaitTerminal(queued, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCancelled {
+		t.Fatalf("queued job state %s, want cancelled", st.State)
+	}
+	// Cancelling a terminal job conflicts.
+	if err := m.Cancel(queued.ID); err != ErrFinished {
+		t.Fatalf("double cancel: %v, want ErrFinished", err)
+	}
+	if err := m.Cancel("job-999999"); err != ErrNotFound {
+		t.Fatalf("cancel unknown: %v, want ErrNotFound", err)
+	}
+	// Unblock the worker.
+	if err := m.Cancel(running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if got := m.Metrics.JobsCancelled.Load(); got != 2 {
+		t.Fatalf("jobsCancelled=%d, want 2", got)
+	}
+}
+
+func TestManagerShutdownDrainsQueue(t *testing.T) {
+	m := NewManager(1, 8, 8)
+	j1, err := m.Submit(quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.Submit(quickSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(contextWithTimeout(t, 60*time.Second)); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		st := j.Status()
+		if st.State != JobDone {
+			t.Fatalf("job %s state %s after drain, want done", j.ID, st.State)
+		}
+	}
+	if _, err := m.Submit(quickSpec(3)); err != ErrShuttingDown {
+		t.Fatalf("submit after shutdown: %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestManagerShutdownForceCancelsOnDeadline(t *testing.T) {
+	m := NewManager(1, 8, 8)
+	job, err := m.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job is actually running so the force-cancel path (not
+	// the queue-drain path) is exercised.
+	waitState(t, job, JobRunning, 10*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = m.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("expected deadline error from forced shutdown")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("forced shutdown took %v", elapsed)
+	}
+	if st := job.Status(); st.State != JobCancelled {
+		t.Fatalf("job state %s after forced shutdown, want cancelled", st.State)
+	}
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManager(1, 8, 1)
+	defer func() {
+		for _, st := range m.Jobs() {
+			_ = m.Cancel(st.ID)
+		}
+		_ = m.Shutdown(contextWithTimeout(t, 30*time.Second))
+	}()
+	if _, err := m.Submit(longSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot, then overflow it. The first submit may
+	// still be queued or already picked up, so allow one success.
+	var sawFull bool
+	for i := int64(0); i < 3; i++ {
+		if _, err := m.Submit(quickSpec(i)); err == ErrQueueFull {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("queue never reported full")
+	}
+}
+
+func waitState(t *testing.T, job *Job, want JobState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if job.Status().State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s (now %s)", job.ID, want, job.Status().State)
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}

@@ -1,0 +1,58 @@
+package service
+
+import "sync/atomic"
+
+// Metrics aggregates the daemon's operational counters. All fields are
+// updated atomically and read without locks; a Snapshot is therefore only
+// approximately consistent across counters, which is fine for monitoring.
+type Metrics struct {
+	// JobsAccepted counts specs admitted by POST /v1/jobs (cache hits
+	// included).
+	JobsAccepted atomic.Int64
+	// JobsCompleted counts jobs that finished with a result (cache hits
+	// included).
+	JobsCompleted atomic.Int64
+	// JobsCancelled counts jobs cancelled before completing.
+	JobsCancelled atomic.Int64
+	// JobsFailed counts jobs whose simulation returned an error.
+	JobsFailed atomic.Int64
+	// CacheHits and CacheMisses count result-cache lookups at submit time.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// RoundsSimulated totals the communication rounds actually executed
+	// (cache hits add nothing — that is the point of the cache).
+	RoundsSimulated atomic.Int64
+	// WorkersBusy is the number of worker goroutines currently running a
+	// simulation.
+	WorkersBusy atomic.Int64
+	// QueueDepth is the number of submitted jobs waiting for a worker.
+	QueueDepth atomic.Int64
+}
+
+// MetricsSnapshot is the JSON form served at GET /v1/metrics.
+type MetricsSnapshot struct {
+	JobsAccepted    int64 `json:"jobsAccepted"`
+	JobsCompleted   int64 `json:"jobsCompleted"`
+	JobsCancelled   int64 `json:"jobsCancelled"`
+	JobsFailed      int64 `json:"jobsFailed"`
+	CacheHits       int64 `json:"cacheHits"`
+	CacheMisses     int64 `json:"cacheMisses"`
+	RoundsSimulated int64 `json:"roundsSimulated"`
+	WorkersBusy     int64 `json:"workersBusy"`
+	QueueDepth      int64 `json:"queueDepth"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		JobsAccepted:    m.JobsAccepted.Load(),
+		JobsCompleted:   m.JobsCompleted.Load(),
+		JobsCancelled:   m.JobsCancelled.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		RoundsSimulated: m.RoundsSimulated.Load(),
+		WorkersBusy:     m.WorkersBusy.Load(),
+		QueueDepth:      m.QueueDepth.Load(),
+	}
+}

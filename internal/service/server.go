@@ -1,0 +1,247 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP surface of the daemon.
+//
+// Routes:
+//
+//	POST   /v1/jobs             submit a JobSpec; 200 with the job status
+//	                            (a cache hit returns an already-done job)
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status (result included when done)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream lifecycle + per-round progress as NDJSON
+//	GET    /v1/metrics          operational counters
+//	GET    /healthz             liveness probe
+type Server struct {
+	mgr  *Manager
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// ServerConfig parameterizes NewServer. Zero values select sane defaults.
+type ServerConfig struct {
+	// Addr is the listen address (default "127.0.0.1:0", an ephemeral
+	// localhost port — read Server.Addr() for the bound address).
+	Addr string
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// CacheSize is the result-cache capacity (default 256; negative
+	// disables caching).
+	CacheSize int
+	// QueueSize is the job-queue capacity (default 1024).
+	QueueSize int
+}
+
+// NewServer binds the listen address and prepares the daemon, but does not
+// serve yet; call Serve (blocking) or Start (background).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 1024
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		mgr: NewManager(cfg.Workers, cfg.CacheSize, cfg.QueueSize),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.http = &http.Server{Handler: s.mux}
+	s.ln = ln
+	return s, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:43627".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Manager exposes the job manager (for embedding and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Serve blocks serving HTTP until Shutdown is called.
+func (s *Server) Serve() error {
+	err := s.http.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Start serves in a background goroutine and returns immediately.
+func (s *Server) Start() {
+	go func() { _ = s.Serve() }()
+}
+
+// Shutdown stops the HTTP listener and then drains the job manager: queued
+// jobs still run to completion unless ctx expires first, in which case
+// in-flight simulations are force-cancelled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.http.Shutdown(ctx)
+	mgrErr := s.mgr.Shutdown(ctx)
+	if httpErr != nil {
+		return httpErr
+	}
+	return mgrErr
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, job.Status())
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.mgr.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		job, _ := s.mgr.Get(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, job.Status())
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleEvents streams the job's event feed as NDJSON: one JSON object per
+// line, flushed per event, ending with a terminal "state" line (followed by
+// the job status on a "status" line) once the job finishes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	events, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+
+	// Lead with the current state so a late subscriber still gets a
+	// well-formed stream.
+	st := job.Status()
+	_ = enc.Encode(Event{Type: "state", State: st.State, Error: st.Error})
+	if canFlush {
+		flusher.Flush()
+	}
+
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				// Terminal: append the final status as the last line.
+				final := job.Status()
+				_ = enc.Encode(struct {
+					Type   string    `json:"type"`
+					Status JobStatus `json:"status"`
+				}{Type: "status", Status: final})
+				if canFlush {
+					flusher.Flush()
+				}
+				return
+			}
+			_ = enc.Encode(ev)
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Metrics.Snapshot())
+}
+
+// WaitTerminal blocks until the job reaches a terminal state or the
+// timeout elapses, returning the final status. It is a convenience for
+// clients (and tests) polling a submitted job.
+func WaitTerminal(job *Job, timeout time.Duration) (JobStatus, error) {
+	select {
+	case <-job.Done():
+		return job.Status(), nil
+	case <-time.After(timeout):
+		return job.Status(), fmt.Errorf("service: job %s not terminal after %v", job.ID, timeout)
+	}
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s := JobSpec{N: 4}
+	s.Normalize()
+	if s.Topology != "random" || s.Density != 0.3 || s.BlockT != 1 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+	// Non-random topologies do not consume the density knob.
+	s2 := JobSpec{N: 4, Topology: "path", Density: 0.7}
+	s2.Normalize()
+	if s2.Density != 0 {
+		t.Fatalf("density should be cleared for path topology, got %g", s2.Density)
+	}
+}
+
+func TestSpecHashCanonical(t *testing.T) {
+	implicit := JobSpec{N: 5}
+	explicit := JobSpec{N: 5, Topology: "random", Density: 0.3, BlockT: 1}
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("defaulted and explicit specs must hash identically")
+	}
+	// Density is irrelevant off the random topology, so it must not split
+	// the cache key.
+	p1 := JobSpec{N: 5, Topology: "path", Density: 0.1}
+	p2 := JobSpec{N: 5, Topology: "path", Density: 0.9}
+	if p1.Hash() != p2.Hash() {
+		t.Error("density must not affect the hash of non-random topologies")
+	}
+	// Anything that changes the simulation changes the hash.
+	base := JobSpec{N: 5, Seed: 1}
+	for name, other := range map[string]JobSpec{
+		"n":      {N: 6, Seed: 1},
+		"seed":   {N: 5, Seed: 2},
+		"topo":   {N: 5, Seed: 1, Topology: "cycle"},
+		"halt":   {N: 5, Seed: 1, Halt: true},
+		"fine":   {N: 5, Seed: 1, Fine: true},
+		"batch":  {N: 5, Seed: 1, Batch: 3},
+		"inputs": {N: 5, Seed: 1, Inputs: []int64{1, 2, 3, 4, 5}},
+	} {
+		if base.Hash() == other.Hash() {
+			t.Errorf("%s: distinct specs hash equal", name)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := func(s JobSpec) bool { return s.Validate() == nil }
+	if !valid(JobSpec{N: 4}) {
+		t.Fatal("minimal spec should validate")
+	}
+	tests := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{name: "zero-n", spec: JobSpec{}, want: "n must be positive"},
+		{name: "negative-n", spec: JobSpec{N: -3}, want: "n must be positive"},
+		{name: "bad-topology", spec: JobSpec{N: 4, Topology: "torus"}, want: "unknown topology"},
+		{name: "bad-density", spec: JobSpec{N: 4, Density: 1.5}, want: "density"},
+		{name: "negative-batch", spec: JobSpec{N: 4, Batch: -1}, want: "batch"},
+		{name: "negative-bitlimit", spec: JobSpec{N: 4, BitLimit: -8}, want: "bitLimit"},
+		{name: "negative-maxrounds", spec: JobSpec{N: 4, MaxRounds: -1}, want: "maxRounds"},
+		{name: "inputs-mismatch", spec: JobSpec{N: 4, Inputs: []int64{1, 2}}, want: "input values"},
+		{name: "leaderless-no-inputs", spec: JobSpec{N: 4, Leaderless: true}, want: "requires per-process inputs"},
+		{name: "leaderless-halt", spec: JobSpec{N: 2, Leaderless: true, Inputs: []int64{1, 2}, Halt: true}, want: "halt"},
+		{name: "leaderless-fine", spec: JobSpec{N: 2, Leaderless: true, Inputs: []int64{1, 2}, Fine: true}, want: "fine-grained"},
+		{name: "leaderless-isolator", spec: JobSpec{N: 2, Leaderless: true, Inputs: []int64{1, 2}, Topology: "isolator"}, want: "isolator"},
+		{name: "isolator-unionT", spec: JobSpec{N: 4, Topology: "isolator", BlockT: 2}, want: "isolator"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSpecRunDeterministic(t *testing.T) {
+	spec := JobSpec{N: 6, Seed: 3}
+	r1, err := spec.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := spec.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.N != 6 || r2.N != 6 {
+		t.Fatalf("counted %d and %d, want 6", r1.N, r2.N)
+	}
+	if r1.Stats != r2.Stats {
+		t.Fatalf("same spec produced different stats:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestSpecRunLeaderless(t *testing.T) {
+	spec := JobSpec{N: 4, Topology: "cycle", Leaderless: true, Inputs: []int64{0, 0, 1, 1}}
+	res, err := spec.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewResult(res)
+	if out.MinSize != 2 || out.Frequencies["0"] != 1 || out.Frequencies["1"] != 1 {
+		t.Fatalf("unexpected leaderless answer: %+v", out)
+	}
+}
+
+func TestSpecRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := JobSpec{N: 8, Topology: "isolator"}.Run(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSpecRunInvalid(t *testing.T) {
+	if _, err := (JobSpec{N: -1}).Run(context.Background(), nil); err == nil {
+		t.Fatal("invalid spec must not run")
+	}
+}
