@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench benchsmoke benchcmp gobench
 
-# The tier-1 gate plus the race detector — run before every commit.
-check: vet build race
+# The tier-1 gate plus the race detector and a bench compile smoke — run
+# before every commit.
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -17,5 +18,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Compile-and-run-once smoke over every benchmark in the repo, so bench
+# code cannot rot between perf PRs.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Run the benchmark-regression suite and record BENCH_PR2.json (see
+# EXPERIMENTS.md, "Perf appendix").
 bench:
+	$(GO) run ./cmd/benchreport -out BENCH_PR2.json
+
+# Compare two BENCH_*.json reports; fails on >20% ns/op regression.
+# Usage: make benchcmp OLD=BENCH_PR1.json NEW=BENCH_PR2.json
+benchcmp:
+	$(GO) run ./cmd/benchreport -compare -old $(OLD) -new $(NEW)
+
+# The raw testing.B entries (one per reproduction experiment).
+gobench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,96 @@
+// Command benchreport runs the benchmark-regression suite and records the
+// measurements as a BENCH_*.json report, or compares two such reports.
+//
+// Record the current tree's numbers (the `make bench` target):
+//
+//	benchreport -out BENCH_PR2.json
+//
+// Fail if the new report regressed by more than 20% ns/op on any shared
+// benchmark (the `make benchcmp` target):
+//
+//	benchreport -compare -old BENCH_PR1.json -new BENCH_PR2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anondyn/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the suite's measurements to this file (JSON)")
+		compare   = flag.Bool("compare", false, "compare two reports instead of running the suite")
+		oldPath   = flag.String("old", "", "baseline report for -compare")
+		newPath   = flag.String("new", "", "candidate report for -compare")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op growth before -compare fails (0.20 = +20%)")
+	)
+	flag.Parse()
+
+	if *compare {
+		if err := runCompare(*oldPath, *newPath, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runSuite(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func runSuite(out string) error {
+	report, err := bench.RunPerfSuite(func(name string) {
+		fmt.Printf("running %s ...\n", name)
+	})
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePerf(os.Stdout, report); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := bench.WritePerfFile(out, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report))
+	}
+	return nil
+}
+
+func runCompare(oldPath, newPath string, tolerance float64) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("-compare needs both -old and -new")
+	}
+	old, err := bench.ReadPerfFile(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ReadPerfFile(newPath)
+	if err != nil {
+		return err
+	}
+	deltas := bench.ComparePerf(old, cur, tolerance)
+	if len(deltas) == 0 {
+		return fmt.Errorf("reports %s and %s share no benchmarks", oldPath, newPath)
+	}
+	regressed := 0
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%5.2fx)  %s\n",
+			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.Ratio, status)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d shared benchmarks regressed beyond +%.0f%%",
+			regressed, len(deltas), tolerance*100)
+	}
+	fmt.Printf("all %d shared benchmarks within +%.0f%%\n", len(deltas), tolerance*100)
+	return nil
+}

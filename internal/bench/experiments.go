@@ -8,6 +8,7 @@ import (
 	"anondyn/internal/core"
 	"anondyn/internal/dynnet"
 	"anondyn/internal/historytree"
+	"anondyn/internal/trace"
 )
 
 // leaderIn returns n inputs with process 0 as the leader.
@@ -141,17 +142,21 @@ func E2RoundsVsN(p *E2Params) (*Table, error) {
 		Header: []string{"n", "rounds(avg)", "levels(max)", "resets(max)",
 			"rounds/n^3", "3n"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	t.Timings = make([]*trace.Timing, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		var sumRounds, maxLevels, maxResets int
+		tm := &trace.Timing{}
 		for seed := 0; seed < p.Seeds; seed++ {
 			s := dynnet.NewRandomConnected(n, 0.3, int64(seed+1))
 			res, err := core.Run(s, leaderIn(n), core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
 				core.RunOptions{})
 			if err != nil {
-				return nil, fmt.Errorf("E2 n=%d seed=%d: %w", n, seed, err)
+				return fmt.Errorf("E2 n=%d seed=%d: %w", n, seed, err)
 			}
 			if res.N != n {
-				return nil, fmt.Errorf("E2 n=%d seed=%d: counted %d", n, seed, res.N)
+				return fmt.Errorf("E2 n=%d seed=%d: counted %d", n, seed, res.N)
 			}
 			sumRounds += res.Stats.Rounds
 			if res.Stats.Levels > maxLevels {
@@ -160,16 +165,22 @@ func E2RoundsVsN(p *E2Params) (*Table, error) {
 			if res.Stats.Resets > maxResets {
 				maxResets = res.Stats.Resets
 			}
+			tm.Add(trace.TimingOf(res.Stats))
 		}
 		avg := float64(sumRounds) / float64(p.Seeds)
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.0f", avg),
 			fmt.Sprintf("%d", maxLevels),
 			fmt.Sprintf("%d", maxResets),
 			fmt.Sprintf("%.3f", avg/math.Pow(float64(n), 3)),
 			fmt.Sprintf("%d", 3*n),
-		})
+		}
+		t.Timings[i] = tm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"rounds/n^3 staying bounded as n grows is the cubic-shape check",
@@ -194,22 +205,28 @@ func E3MessageBits(p *E3Params) (*Table, error) {
 		Claim:  "all messages fit in O(log n) bits (Corollary 4.9)",
 		Header: []string{"n", "max bits", "bits/log2(n)", "total msgs"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		s := dynnet.NewRandomConnected(n, 0.3, 7)
 		res, err := core.Run(s, leaderIn(n), core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
 			core.RunOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("E3 n=%d: %w", n, err)
+			return fmt.Errorf("E3 n=%d: %w", n, err)
 		}
 		if res.N != n {
-			return nil, fmt.Errorf("E3 n=%d: counted %d", n, res.N)
+			return fmt.Errorf("E3 n=%d: counted %d", n, res.N)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", res.Stats.MaxMessageBits),
 			fmt.Sprintf("%.2f", float64(res.Stats.MaxMessageBits)/math.Log2(float64(n))),
 			fmt.Sprintf("%d", res.Stats.TotalMessages),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "compare the non-congested baseline's Θ(n³ log n)-bit views in E6")
 	return t, nil
@@ -234,34 +251,42 @@ func E4RedEdges(p *E4Params) (*Table, error) {
 		Header: []string{"n", "VHT levels", "VHT red", "VHT red/n^2",
 			"generic red (3n lvls)", "generic red/n^3"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	t.Timings = make([]*trace.Timing, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		s := dynnet.NewRandomConnected(n, 0.5, 3)
 		res, err := core.Run(s, leaderIn(n), core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
 			core.RunOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("E4 n=%d: %w", n, err)
+			return fmt.Errorf("E4 n=%d: %w", n, err)
 		}
 		vhtRed := res.VHT.RedEdgeCount(-1)
 
 		// Generic worst case: all-distinct inputs on the complete graph.
 		inputs := make([]historytree.Input, n)
-		for i := range inputs {
-			inputs[i].Value = int64(i)
+		for j := range inputs {
+			inputs[j].Value = int64(j)
 		}
 		run, err := historytree.Build(dynnet.NewStatic(dynnet.Complete(n)), inputs, 3*n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		genericRed := run.Tree.RedEdgeCount(-1)
 
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", res.Stats.Levels),
 			fmt.Sprintf("%d", vhtRed),
 			fmt.Sprintf("%.2f", float64(vhtRed)/float64(n*n)),
 			fmt.Sprintf("%d", genericRed),
 			fmt.Sprintf("%.2f", float64(genericRed)/float64(n*n*n)),
-		})
+		}
+		t.Timings[i] = trace.TimingOf(res.Stats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -284,27 +309,33 @@ func E5DiamEstimate(p *E5Params) (*Table, error) {
 		Claim:  "DiamEstimate ≤ 4n (Lemma 4.7); ≤ log₂(4n) resets",
 		Header: []string{"n", "rounds", "resets", "final diam", "4n", "log2(4n)"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		s := dynnet.NewShiftingPath(n)
 		res, err := core.Run(s, leaderIn(n), core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
 			core.RunOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("E5 n=%d: %w", n, err)
+			return fmt.Errorf("E5 n=%d: %w", n, err)
 		}
 		if res.N != n {
-			return nil, fmt.Errorf("E5 n=%d: counted %d", n, res.N)
+			return fmt.Errorf("E5 n=%d: counted %d", n, res.N)
 		}
 		if res.Stats.FinalDiamEstimate > 4*n {
-			return nil, fmt.Errorf("E5 n=%d: final estimate %d exceeds 4n", n, res.Stats.FinalDiamEstimate)
+			return fmt.Errorf("E5 n=%d: final estimate %d exceeds 4n", n, res.Stats.FinalDiamEstimate)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", res.Stats.Rounds),
 			fmt.Sprintf("%d", res.Stats.Resets),
 			fmt.Sprintf("%d", res.Stats.FinalDiamEstimate),
 			fmt.Sprintf("%d", 4*n),
 			fmt.Sprintf("%.1f", math.Log2(float64(4*n))),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -328,28 +359,36 @@ func E6Tradeoff(p *E6Params) (*Table, error) {
 		Header: []string{"n", "cong rounds", "cong bits", "non-cong rounds", "non-cong bits",
 			"bits ratio"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	t.Timings = make([]*trace.Timing, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		s := dynnet.NewRandomConnected(n, 0.3, 17)
 		res, err := core.Run(s, leaderIn(n), core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6},
 			core.RunOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("E6 n=%d congested: %w", n, err)
+			return fmt.Errorf("E6 n=%d congested: %w", n, err)
 		}
 		nc, err := baseline.RunNonCongested(s, leaderIn(n), 0)
 		if err != nil {
-			return nil, fmt.Errorf("E6 n=%d non-congested: %w", n, err)
+			return fmt.Errorf("E6 n=%d non-congested: %w", n, err)
 		}
 		if res.N != n || nc.N != n {
-			return nil, fmt.Errorf("E6 n=%d: counts %d and %d", n, res.N, nc.N)
+			return fmt.Errorf("E6 n=%d: counts %d and %d", n, res.N, nc.N)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", res.Stats.Rounds),
 			fmt.Sprintf("%d", res.Stats.MaxMessageBits),
 			fmt.Sprintf("%d", nc.Rounds),
 			fmt.Sprintf("%d", nc.MaxMessageBits),
 			fmt.Sprintf("%.1fx", float64(nc.MaxMessageBits)/float64(res.Stats.MaxMessageBits)),
-		})
+		}
+		t.Timings[i] = trace.TimingOf(res.Stats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -416,17 +455,20 @@ func E8Leaderless(p *E8Params) (*Table, error) {
 		Claim:  "O(D·n²) rounds; exact input frequencies; simultaneous termination",
 		Header: []string{"n", "D", "rounds", "rounds/(D·n²)", "min size", "correct?"},
 	}
-	for _, n := range p.Ns {
+	t.Rows = make([][]string, len(p.Ns))
+	t.Timings = make([]*trace.Timing, len(p.Ns))
+	err := sweep(len(p.Ns), func(i int) error {
+		n := p.Ns[i]
 		inputs := make([]historytree.Input, n)
-		for i := range inputs {
-			inputs[i].Value = int64(i % 2)
+		for j := range inputs {
+			inputs[j].Value = int64(j % 2)
 		}
 		s := dynnet.NewRandomConnected(n, 0.4, 29)
 		d := n // dynamic diameter of a connected n-network is < n
 		res, err := core.Run(s, inputs, core.Config{Mode: core.ModeLeaderless, DiamBound: d, MaxLevels: 3*n + 6},
 			core.RunOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("E8 n=%d: %w", n, err)
+			return fmt.Errorf("E8 n=%d: %w", n, err)
 		}
 		f := res.Frequencies
 		zeros := (n + 1) / 2
@@ -435,14 +477,19 @@ func E8Leaderless(p *E8Params) (*Table, error) {
 			f.Shares[historytree.Input{Value: 0}] == zeros/g &&
 			f.Shares[historytree.Input{Value: 1}] == (n-zeros)/g &&
 			f.MinSize == n/g
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", d),
 			fmt.Sprintf("%d", res.Stats.Rounds),
 			fmt.Sprintf("%.3f", float64(res.Stats.Rounds)/float64(d*n*n)),
 			fmt.Sprintf("%d", f.MinSize),
 			fmt.Sprintf("%v", correct),
-		})
+		}
+		t.Timings[i] = trace.TimingOf(res.Stats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// PerfEntry is one benchmark's measurement in a BENCH_*.json report.
+type PerfEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfReport maps benchmark name → measurement. Serialized (sorted by
+// name) it is the BENCH_*.json format each PR checks in to track the
+// repository's perf trajectory; cmd/benchreport produces and compares
+// these files.
+type PerfReport map[string]PerfEntry
+
+// WritePerf serializes the report as deterministic (name-sorted, indented)
+// JSON.
+func WritePerf(w io.Writer, r PerfReport) error {
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Hand-roll the object so the key order is stable (encoding/json maps
+	// are sorted too, but building explicitly keeps the format obvious and
+	// lets entries stay one-per-line).
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		key, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		val, err := json.Marshal(r[name])
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(names)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %s: %s%s\n", key, val, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WritePerfFile writes the report to path via WritePerf.
+func WritePerfFile(path string, r PerfReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePerf(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPerfFile parses a BENCH_*.json report.
+func ReadPerfFile(path string) (PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// PerfDelta describes one benchmark's change between two reports.
+type PerfDelta struct {
+	Name     string
+	Old, New PerfEntry
+	// Ratio is new/old ns per op (1.0 = unchanged, 2.0 = twice as slow).
+	Ratio float64
+	// Regressed reports whether Ratio exceeded the comparison tolerance.
+	Regressed bool
+}
+
+// ComparePerf diffs two reports on the benchmarks they share. A benchmark
+// regresses when its ns/op grew by more than tolerance (0.20 = fail above
+// +20%). Benchmarks present in only one report are ignored: sets naturally
+// drift as benchmarks are added and retired.
+func ComparePerf(old, new PerfReport, tolerance float64) []PerfDelta {
+	names := make([]string, 0, len(new))
+	for name := range new {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	deltas := make([]PerfDelta, 0, len(names))
+	for _, name := range names {
+		o, n := old[name], new[name]
+		d := PerfDelta{Name: name, Old: o, New: n}
+		if o.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / o.NsPerOp
+			d.Regressed = d.Ratio > 1+tolerance
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}

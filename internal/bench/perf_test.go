@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPerfWriteReadRoundTrip(t *testing.T) {
+	r := PerfReport{
+		"B/one": {NsPerOp: 1234.5, AllocsPerOp: 7, BytesPerOp: 512},
+		"A/two": {NsPerOp: 99, AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WritePerfFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestPerfWriteDeterministicOrder(t *testing.T) {
+	r := PerfReport{"z": {NsPerOp: 1}, "a": {NsPerOp: 2}, "m": {NsPerOp: 3}}
+	var b strings.Builder
+	if err := WritePerf(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !(strings.Index(out, `"a"`) < strings.Index(out, `"m"`) &&
+		strings.Index(out, `"m"`) < strings.Index(out, `"z"`)) {
+		t.Errorf("entries not name-sorted:\n%s", out)
+	}
+}
+
+func TestComparePerf(t *testing.T) {
+	old := PerfReport{
+		"stable":   {NsPerOp: 1000},
+		"faster":   {NsPerOp: 1000},
+		"slower":   {NsPerOp: 1000},
+		"retired":  {NsPerOp: 1000},
+		"atBorder": {NsPerOp: 1000},
+	}
+	cur := PerfReport{
+		"stable":   {NsPerOp: 1050},
+		"faster":   {NsPerOp: 400},
+		"slower":   {NsPerOp: 1500},
+		"brandNew": {NsPerOp: 9999},
+		"atBorder": {NsPerOp: 1200},
+	}
+	deltas := ComparePerf(old, cur, 0.20)
+	got := make(map[string]bool, len(deltas))
+	for _, d := range deltas {
+		got[d.Name] = d.Regressed
+	}
+	want := map[string]bool{
+		"stable": false,
+		"faster": false,
+		"slower": true,
+		// Exactly at the tolerance boundary is not a regression.
+		"atBorder": false,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("regression verdicts: got %v, want %v", got, want)
+	}
+}
+
+func TestSweepAssemblesInIndexOrder(t *testing.T) {
+	const points = 40
+	out := make([]int, points)
+	err := sweep(points, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSweepReturnsFirstErrorByIndex(t *testing.T) {
+	boom := errors.New("boom")
+	err := sweep(10, func(i int) error {
+		if i == 3 {
+			return fmt.Errorf("point %d: %w", i, boom)
+		}
+		if i == 7 {
+			return errors.New("later failure")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the index-3 error", err)
+	}
+	// Every point still ran: the pool does not cancel on error.
+	var ran atomic.Int32
+	_ = sweep(10, func(i int) error { ran.Add(1); return errors.New("x") })
+	if ran.Load() != 10 {
+		t.Errorf("%d points ran, want 10", ran.Load())
+	}
+}
+
+// TestE2ParallelIsDeterministic pins the byte-identical-tables contract:
+// the pooled sweep must assemble exactly the rows a sequential run would.
+func TestE2ParallelIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full E2 points twice")
+	}
+	p := &E2Params{Ns: []int{2, 4, 6}, Seeds: 2}
+	a, err := E2RoundsVsN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E2RoundsVsN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("E2 rows differ across runs:\n%v\nvs\n%v", a.Rows, b.Rows)
+	}
+	if len(a.Timings) != len(a.Rows) {
+		t.Fatalf("%d timings for %d rows", len(a.Timings), len(a.Rows))
+	}
+	for i, tm := range a.Timings {
+		if tm == nil || tm.WallClock <= 0 || tm.SolverCalls <= 0 {
+			t.Errorf("row %d: missing timing %+v", i, tm)
+		}
+	}
+	rows := JSONRows(a)
+	for i, r := range rows {
+		if r.WallMS <= 0 || r.SolverCalls <= 0 {
+			t.Errorf("JSON row %d lacks timing fields: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/baseline"
+	"anondyn/internal/core"
+	"anondyn/internal/dynnet"
+	"anondyn/internal/engine"
+	"anondyn/internal/historytree"
+)
+
+// NamedBench couples a benchmark-regression suite entry with its body.
+type NamedBench struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// PerfSuite returns the benchmark-regression suite behind `make bench`:
+// the solver-heavy experiment runs (E2 at its largest n, E4, E6) plus the
+// solver and engine microbenchmarks, each in an incremental and — where
+// the distinction exists — a from-scratch variant so a single run yields
+// the speedup ratio. The names match the testing.B entries of the same
+// code paths (root bench_test.go, internal/historytree, internal/engine).
+func PerfSuite() []NamedBench {
+	suite := []NamedBench{
+		{Name: "SolverFromScratch/n=16", Bench: solverBench(16, false)},
+		{Name: "SolverIncremental/n=16", Bench: solverBench(16, true)},
+		{Name: "E2Count/n=12", Bench: e2Bench(12, false)},
+		{Name: "E2SolverReplayFromScratch/n=12", Bench: e2SolverReplayBench(12, false)},
+		{Name: "E2SolverReplayIncremental/n=12", Bench: e2SolverReplayBench(12, true)},
+		{Name: "E4RedEdges/n=10", Bench: e4Bench(10)},
+		{Name: "E6NonCongested/n=10", Bench: e6Bench(10)},
+		{Name: "EngineDeliverDense/n=32", Bench: engineBench(32)},
+	}
+	return suite
+}
+
+// RunPerfSuite executes the suite via testing.Benchmark and collects the
+// measurements. progress, if non-nil, is called before each entry.
+func RunPerfSuite(progress func(name string)) (PerfReport, error) {
+	report := make(PerfReport)
+	for _, nb := range PerfSuite() {
+		if progress != nil {
+			progress(nb.Name)
+		}
+		r := testing.Benchmark(nb.Bench)
+		if r.N == 0 {
+			return nil, fmt.Errorf("bench: %s failed", nb.Name)
+		}
+		report[nb.Name] = PerfEntry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	return report, nil
+}
+
+// solverBench replays the protocol's access pattern — re-solving after
+// every completed level of a prebuilt history tree — through either the
+// from-scratch Count or the persistent incremental Solver.
+func solverBench(n int, incremental bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.3, 1)
+		inputs := make([]historytree.Input, n)
+		inputs[0].Leader = true
+		run, err := historytree.Build(s, inputs, 3*n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver := historytree.NewSolver()
+			for l := 0; l <= 3*n; l++ {
+				var res historytree.CountResult
+				var err error
+				if incremental {
+					res, err = solver.CountAt(run.Tree, l)
+				} else {
+					res, err = historytree.Count(run.Tree, l)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Known && res.N != n {
+					b.Fatalf("wrong count at level %d: %+v", l, res)
+				}
+			}
+		}
+	}
+}
+
+// e2Bench is one full counting run at E2's largest sweep point, with the
+// FromScratchCount ablation toggling the incremental solver.
+func e2Bench(n int, fromScratch bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.3, 1)
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6, FromScratchCount: fromScratch}
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.N != n {
+				b.Fatalf("counted %d, want %d", res.N, n)
+			}
+		}
+	}
+}
+
+// e2SolverReplayBench replays the leader's per-level counting over the
+// VHT that E2's largest sweep point actually produces — the solver-heavy
+// slice of an E2 run, isolated from the engine's round overhead so the
+// incremental-vs-from-scratch ratio is visible. (Whole E2 runs are
+// engine-bound: the VHT solve is microseconds either way, see E2Count.)
+func e2SolverReplayBench(n int, incremental bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.3, 1)
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6}
+		res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		depth := res.VHT.Depth()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver := historytree.NewSolver()
+			for l := 0; l <= depth; l++ {
+				var cres historytree.CountResult
+				var err error
+				if incremental {
+					cres, err = solver.CountAt(res.VHT, l)
+				} else {
+					cres, err = historytree.Count(res.VHT, l)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cres.Known && cres.N != n {
+					b.Fatalf("wrong count at level %d: %+v", l, cres)
+				}
+			}
+		}
+	}
+}
+
+// e4Bench is the E4 red-edge run at its largest sweep point.
+func e4Bench(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.5, 3)
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6}
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.VHT.RedEdgeCount(-1) == 0 {
+				b.Fatal("no red edges recorded")
+			}
+		}
+	}
+}
+
+// e6Bench is the E6 non-congested baseline at its largest sweep point.
+func e6Bench(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.3, 17)
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.RunNonCongested(s, leaderIn(n), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.N != n {
+				b.Fatalf("counted %d, want %d", res.N, n)
+			}
+		}
+	}
+}
+
+// engineBench is the coordinator's dense-delivery microbenchmark: n
+// processes echoing over a complete graph for 50 rounds per iteration.
+func engineBench(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const rounds = 50
+		sched := dynnet.NewStatic(dynnet.Complete(n))
+		for i := 0; i < b.N; i++ {
+			procs := make([]engine.Coroutine, n)
+			for j := range procs {
+				procs[j] = engine.CoroutineFunc(func(tr *engine.Transport) (any, error) {
+					for r := 0; r < rounds; r++ {
+						if _, err := tr.SendAndReceive(r); err != nil {
+							return nil, err
+						}
+					}
+					return nil, nil
+				})
+			}
+			if _, err := engine.Run(engine.Config{Schedule: sched, MaxRounds: rounds + 1}, procs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

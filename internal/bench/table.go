@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"anondyn/internal/trace"
 )
 
 // Table is one experiment's result in printable form.
@@ -22,8 +24,34 @@ type Table struct {
 	// Header and Rows are the measured data.
 	Header []string
 	Rows   [][]string
+	// Timings, when set, holds per-row timing measurements aligned with
+	// Rows (nil entries mean the row carries no timing). They surface in
+	// JSON rows and as trailing lines of the rendered table.
+	Timings []*trace.Timing
 	// Notes carry caveats and derived observations.
 	Notes []string
+}
+
+// timing returns row i's timing, or nil.
+func (t *Table) timing(i int) *trace.Timing {
+	if i < len(t.Timings) {
+		return t.Timings[i]
+	}
+	return nil
+}
+
+// timingLines renders one "key: timing" line per timed row, keyed by the
+// row's first cell.
+func timingLines(t *Table) []string {
+	var out []string
+	for i, row := range t.Rows {
+		tm := t.timing(i)
+		if tm == nil || len(row) == 0 {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s %s: %s", t.ID, row[0], tm))
+	}
+	return out
 }
 
 // Experiment couples an ID with its runner.
@@ -67,6 +95,9 @@ func RenderMarkdown(t *Table) string {
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
 	}
+	for _, line := range timingLines(t) {
+		fmt.Fprintf(&b, "\n*%s*\n", line)
+	}
 	return b.String()
 }
 
@@ -78,19 +109,32 @@ type Row struct {
 	Title      string            `json:"title"`
 	Claim      string            `json:"claim,omitempty"`
 	Columns    map[string]string `json:"columns"`
+	// WallMS and SolverMS report where the row's real time went (run wall
+	// clock vs time inside the cardinality solver, milliseconds), with
+	// SolverCalls the number of solver invocations; zero when the
+	// experiment recorded no timing. See internal/trace.Timing.
+	WallMS      float64 `json:"wall_ms,omitempty"`
+	SolverMS    float64 `json:"solver_ms,omitempty"`
+	SolverCalls int     `json:"solver_calls,omitempty"`
 }
 
 // JSONRows converts the table to its machine-readable rows.
 func JSONRows(t *Table) []Row {
 	rows := make([]Row, 0, len(t.Rows))
-	for _, r := range t.Rows {
+	for ri, r := range t.Rows {
 		cols := make(map[string]string, len(t.Header))
 		for i, h := range t.Header {
 			if i < len(r) {
 				cols[h] = r[i]
 			}
 		}
-		rows = append(rows, Row{Experiment: t.ID, Title: t.Title, Claim: t.Claim, Columns: cols})
+		row := Row{Experiment: t.ID, Title: t.Title, Claim: t.Claim, Columns: cols}
+		if tm := t.timing(ri); tm != nil {
+			row.WallMS = tm.WallMS()
+			row.SolverMS = tm.SolverMS()
+			row.SolverCalls = tm.SolverCalls
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -148,6 +192,9 @@ func Render(t *Table) string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, line := range timingLines(t) {
+		fmt.Fprintf(&b, "time: %s\n", line)
 	}
 	return b.String()
 }

@@ -83,6 +83,12 @@ type Config struct {
 	// this many levels (0 = unlimited). Termination is guaranteed by the
 	// paper within 3n levels, so tests set this to catch divergence.
 	MaxLevels int
+	// FromScratchCount disables the incremental counting solver: the
+	// deciding process re-runs the from-scratch historytree.Count (or
+	// Frequencies) after every completed level, as the pre-optimization
+	// code did. It exists as an ablation for benchmarks, which measure the
+	// incremental speedup against it in the same binary.
+	FromScratchCount bool
 	// Recorder, if non-nil, receives instrumentation events (resets,
 	// accepted messages, per-level ID assignments). Nil disables recording.
 	Recorder *Recorder
@@ -163,4 +169,8 @@ type Outcome struct {
 	// FinalRound is the (virtual) round at which the process produced its
 	// output.
 	FinalRound int
+	// Solver reports the counting solver's accumulated work (calls, levels
+	// consumed, rebuilds after resets, time inside the solver). In
+	// FromScratchCount runs only Calls and SolveTime are meaningful.
+	Solver historytree.SolverStats
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"anondyn/internal/engine"
 	"anondyn/internal/historytree"
@@ -60,6 +61,14 @@ type Process struct {
 	// confirmation window discussion in mainLoop). Nil for non-leaders and
 	// while unresolved.
 	pending *pendingOutput
+
+	// solver is the persistent incremental counting solver, kept across
+	// constructLevel iterations so each level's balance equations are
+	// eliminated exactly once; it watches the VHT's truncation generation
+	// and rebuilds itself after resets. scratchStats mirrors its counters
+	// when the FromScratchCount ablation bypasses it.
+	solver       *historytree.Solver
+	scratchStats historytree.SolverStats
 }
 
 // pendingOutput is a resolved count waiting out its confirmation window.
@@ -122,6 +131,7 @@ func (p *Process) Run(tr *engine.Transport) (any, error) {
 			Levels:            p.currentLevel,
 			FinalDiamEstimate: p.diamEstimate,
 			FinalRound:        h.round,
+			Solver:            p.solverStats(),
 		}, nil
 	}
 	return out, err
@@ -148,6 +158,7 @@ func (p *Process) initialize() {
 	p.initialID = p.myID
 	p.nextFreshID = 2
 	p.vht = historytree.New()
+	p.solver = historytree.NewSolver()
 	p.snapshots = make(map[int]snapshot)
 	p.diamEstimate = 1
 	if p.cfg.Mode == ModeLeaderless {
@@ -205,7 +216,7 @@ func (p *Process) mainLoop() (any, error) {
 		}
 		p.rec.noteLevelDone(p.currentLevel, p.tr.PID(), p.myID)
 		if p.input.Leader && p.pending == nil {
-			res, err := historytree.Count(p.vht, p.currentLevel)
+			res, err := p.countNow()
 			if err != nil {
 				return nil, err
 			}
@@ -248,7 +259,45 @@ func (p *Process) emitPending() (any, error) {
 		Levels:            pd.levels,
 		FinalDiamEstimate: pd.diamEstimate,
 		FinalRound:        p.tr.Round(),
+		Solver:            p.solverStats(),
 	}, nil
+}
+
+// countNow evaluates the cardinality solver after a completed level,
+// through the persistent incremental Solver or, under the FromScratchCount
+// ablation, the reference implementation (timed for comparability).
+func (p *Process) countNow() (historytree.CountResult, error) {
+	if !p.cfg.FromScratchCount {
+		return p.solver.CountAt(p.vht, p.currentLevel)
+	}
+	start := time.Now()
+	res, err := historytree.Count(p.vht, p.currentLevel)
+	p.scratchStats.Calls++
+	p.scratchStats.SolveTime += time.Since(start)
+	return res, err
+}
+
+// frequenciesNow is countNow's leaderless counterpart.
+func (p *Process) frequenciesNow() (historytree.FrequencyResult, error) {
+	if !p.cfg.FromScratchCount {
+		return p.solver.FrequenciesAt(p.vht, p.currentLevel)
+	}
+	start := time.Now()
+	res, err := historytree.Frequencies(p.vht, p.currentLevel)
+	p.scratchStats.Calls++
+	p.scratchStats.SolveTime += time.Since(start)
+	return res, err
+}
+
+// solverStats returns the counting work this process has done.
+func (p *Process) solverStats() historytree.SolverStats {
+	if p.cfg.FromScratchCount {
+		return p.scratchStats
+	}
+	if p.solver == nil {
+		return historytree.SolverStats{}
+	}
+	return p.solver.Stats()
 }
 
 // vhtComplete performs the structural completeness check: every node of a
@@ -287,7 +336,7 @@ func (p *Process) mainLoopLeaderless() (any, error) {
 				p.cfg.DiamBound)
 		}
 		p.rec.noteLevelDone(p.currentLevel, p.tr.PID(), p.myID)
-		freq, err := historytree.Frequencies(p.vht, p.currentLevel)
+		freq, err := p.frequenciesNow()
 		if err != nil {
 			return nil, err
 		}
@@ -298,6 +347,7 @@ func (p *Process) mainLoopLeaderless() (any, error) {
 				Levels:            p.currentLevel,
 				FinalDiamEstimate: p.diamEstimate,
 				FinalRound:        p.tr.Round(),
+				Solver:            p.solverStats(),
 			}, nil
 		}
 		p.currentLevel++

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"anondyn/internal/dynnet"
 	"anondyn/internal/engine"
@@ -27,6 +28,14 @@ type RunStats struct {
 	// Levels is the number of VHT levels completed when the answer was
 	// produced.
 	Levels int
+	// WallClock is the real time the whole run took, engine included.
+	WallClock time.Duration
+	// SolverTime is the time the deciding process spent inside the
+	// cardinality solver, and SolverCalls its number of solver
+	// invocations; together with WallClock they show where a run's time
+	// goes (see the perf appendix of EXPERIMENTS.md).
+	SolverTime  time.Duration
+	SolverCalls int
 }
 
 // RunResult is the outcome of a complete protocol run.
@@ -117,10 +126,12 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	started := time.Now()
 	res, err := engine.RunContext(ctx, ecfg, procs)
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Since(started)
 
 	out := &RunResult{
 		Outputs: make(map[int]*Outcome, len(res.Outputs)),
@@ -130,6 +141,7 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 			TotalMessages:  res.TotalMessages,
 			TotalBits:      res.TotalBits,
 			Resets:         cfg.Recorder.Resets(),
+			WallClock:      wall,
 		},
 	}
 	for pid, o := range res.Outputs {
@@ -151,6 +163,8 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.VHT = leaderOut.VHT
 		out.Stats.Levels = leaderOut.Levels
 		out.Stats.FinalDiamEstimate = leaderOut.FinalDiamEstimate
+		out.Stats.SolverTime = leaderOut.Solver.SolveTime
+		out.Stats.SolverCalls = leaderOut.Solver.Calls
 		if cfg.SimultaneousHalt {
 			if err := checkSimultaneous(out.Outputs, n, leaderOut.N); err != nil {
 				return nil, err
@@ -181,6 +195,8 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.VHT = first.VHT
 		out.Stats.Levels = first.Levels
 		out.Stats.FinalDiamEstimate = first.FinalDiamEstimate
+		out.Stats.SolverTime = first.Solver.SolveTime
+		out.Stats.SolverCalls = first.Solver.Calls
 	}
 	return out, nil
 }

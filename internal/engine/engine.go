@@ -77,7 +77,8 @@ type AdaptiveSchedule interface {
 	N() int
 	// Graph returns the round-`round` multigraph given the messages sent
 	// this round; sent[pid] is process pid's message, or nil if it has
-	// terminated.
+	// terminated. The engine reuses the sent slice between rounds;
+	// implementations must not retain it past the call.
 	Graph(round int, sent []Message) *dynnet.Multigraph
 }
 
@@ -103,7 +104,9 @@ type Config struct {
 	// processes have returned.
 	StopWhen func(outputs map[int]any) bool
 	// Trace, if non-nil, receives every round's sent messages after
-	// delivery, for debugging and engine-level tests.
+	// delivery, for debugging and engine-level tests. The engine reuses
+	// the slice between rounds; callbacks must not retain it past the
+	// call (copy if needed).
 	Trace func(round int, sent []Message)
 }
 
@@ -205,6 +208,18 @@ type coordinator struct {
 
 	round   int
 	pending []Message // message submitted by each process this round
+
+	// Round-delivery scratch, reused across rounds to keep the hot loop
+	// allocation-free: headers and degree counts are per-pid, sent /
+	// sentByPID hold the round's submissions, and the delivery backing
+	// arrays are double-buffered (even/odd rounds) so a process may keep
+	// reading its previous round's inbox slice until its next
+	// SendAndReceive, per the documented validity window.
+	outHeads  [][]Message
+	degree    []int
+	sent      []Message
+	sentByPID []Message
+	backings  [2][]Message
 }
 
 // Transport is the per-process communication endpoint handed to Coroutine.Run.
@@ -228,6 +243,10 @@ func (t *Transport) Round() int { return t.round }
 // returning the multiset of messages received from neighbors (possibly
 // empty if the process is isolated this round). It returns ErrStopped when
 // the run has been cancelled.
+//
+// The returned slice is valid only until this process's next
+// SendAndReceive call: the engine round-robins the backing storage between
+// rounds. Processes that need deliveries across rounds must copy them.
 func (t *Transport) SendAndReceive(msg Message) ([]Message, error) {
 	select {
 	case t.coord.events <- event{pid: t.pid, kind: evSubmit, msg: msg}:
@@ -357,13 +376,25 @@ func (c *coordinator) census() (alive, waiting int) {
 }
 
 // deliver completes one round: accounts sizes, routes the pending messages
-// along the round's multigraph, and releases the waiting processes.
+// along the round's multigraph, and releases the waiting processes. All of
+// its working storage lives on the coordinator and is reused round to
+// round, so a steady-state round performs at most one allocation (growing
+// a delivery backing array).
 func (c *coordinator) deliver(res *Result) error {
 	c.round++
 
-	out := make([][]Message, c.n)
-	sent := make([]Message, 0, c.n)
-	sentByPID := make([]Message, c.n)
+	if c.outHeads == nil {
+		c.outHeads = make([][]Message, c.n)
+		c.degree = make([]int, c.n)
+		c.sent = make([]Message, 0, c.n)
+		c.sentByPID = make([]Message, c.n)
+	}
+	out := c.outHeads
+	sent := c.sent[:0]
+	sentByPID := c.sentByPID
+	for pid := range sentByPID {
+		sentByPID[pid] = nil
+	}
 	for pid, s := range c.state {
 		if s != stateWaiting {
 			continue
@@ -395,7 +426,51 @@ func (c *coordinator) deliver(res *Result) error {
 			g.N(), c.round, c.n)
 	}
 
-	for _, l := range g.Links() {
+	// Pre-size every inbox by the process's degree in the round's
+	// multigraph (counting multiplicities), then carve all inboxes out of
+	// one backing array. The backing arrays alternate by round parity: a
+	// process may legitimately keep reading its previous round's inbox
+	// slice until its next SendAndReceive (see the Transport contract), so
+	// the buffer written this round must not be the one delivered last
+	// round.
+	links := g.Links()
+	deg := c.degree
+	for pid := range deg {
+		deg[pid] = 0
+	}
+	total := 0
+	for _, l := range links {
+		uAlive := c.state[l.U] == stateWaiting
+		vAlive := c.state[l.V] == stateWaiting
+		if l.U == l.V {
+			if uAlive {
+				deg[l.U] += l.Mult
+				total += l.Mult
+			}
+			continue
+		}
+		if uAlive && vAlive {
+			deg[l.U] += l.Mult
+			deg[l.V] += l.Mult
+			total += 2 * l.Mult
+		}
+	}
+	backing := c.backings[c.round&1]
+	if cap(backing) < total {
+		backing = make([]Message, 0, total)
+		c.backings[c.round&1] = backing
+	}
+	off := 0
+	for pid := range out {
+		if deg[pid] == 0 {
+			out[pid] = nil
+			continue
+		}
+		out[pid] = backing[off : off : off+deg[pid]]
+		off += deg[pid]
+	}
+
+	for _, l := range links {
 		uAlive := c.state[l.U] == stateWaiting
 		vAlive := c.state[l.V] == stateWaiting
 		if l.U == l.V {

@@ -47,6 +47,67 @@ func BenchmarkSolver(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverFromScratch replays the protocol's real access pattern —
+// the leader re-solves after every completed level — through the
+// from-scratch Count, the behaviour before the incremental solver.
+func BenchmarkSolverFromScratch(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := dynnet.NewRandomConnected(n, 0.3, 1)
+			inputs := make([]Input, n)
+			inputs[0].Leader = true
+			run, err := Build(s, inputs, 3*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for l := 0; l <= 3*n; l++ {
+					res, err := Count(run.Tree, l)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Known && res.N != n {
+						b.Fatalf("wrong count at level %d: %+v", l, res)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverIncremental is the same per-level access pattern through
+// the persistent Solver; BENCH_PR2.json tracks its ratio to
+// BenchmarkSolverFromScratch.
+func BenchmarkSolverIncremental(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := dynnet.NewRandomConnected(n, 0.3, 1)
+			inputs := make([]Input, n)
+			inputs[0].Leader = true
+			run, err := Build(s, inputs, 3*n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver := NewSolver()
+				for l := 0; l <= 3*n; l++ {
+					res, err := solver.CountAt(run.Tree, l)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Known && res.N != n {
+						b.Fatalf("wrong count at level %d: %+v", l, res)
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCanonicalForm(b *testing.B) {
 	s := dynnet.NewRandomConnected(16, 0.3, 1)
 	inputs := make([]Input, 16)

@@ -3,6 +3,7 @@ package historytree
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Count infers process counts from a history tree whose levels
@@ -27,6 +28,9 @@ import (
 // vector, giving exact input frequencies. If the null space has higher
 // dimension the answer is not yet determined and Known is false — by the
 // FOCS 2022 result, O(n) complete levels always suffice.
+//
+// Count recomputes from scratch on every call; it is the reference
+// implementation that the incremental Solver is property-tested against.
 func Count(t *Tree, completeLevels int) (CountResult, error) {
 	leaders := leaderNodes(t)
 	if len(leaders) != 1 {
@@ -39,16 +43,33 @@ func Count(t *Tree, completeLevels int) (CountResult, error) {
 	if !sol.known {
 		return CountResult{}, nil
 	}
-	leaderWeight := sol.weightOf(leaders[0])
-	if leaderWeight.Sign() <= 0 {
+	res, err := countFromWeights(t, sol.levelZeroWeights(t))
+	sol.release()
+	return res, err
+}
+
+// countFromWeights normalizes a per-level-0-class weight assignment by the
+// leader class and converts it to the Generalized Counting answer.
+func countFromWeights(t *Tree, weights map[*Node]*big.Rat) (CountResult, error) {
+	leaders := leaderNodes(t)
+	if len(leaders) != 1 {
+		return CountResult{}, fmt.Errorf("historytree: %d leader classes at level 0, want 1", len(leaders))
+	}
+	leaderWeight := weights[leaders[0]]
+	if leaderWeight == nil || leaderWeight.Sign() <= 0 {
 		return CountResult{}, fmt.Errorf("historytree: non-positive leader class weight %v", leaderWeight)
 	}
 	// Scale the ray so the leader class has cardinality exactly 1.
 	scale := new(big.Rat).Inv(leaderWeight)
 	total := new(big.Rat)
 	multiset := make(map[Input]int, len(t.Level(0)))
+	w := new(big.Rat)
 	for _, v := range t.Level(0) {
-		w := new(big.Rat).Mul(sol.weightOf(v), scale)
+		wv := weights[v]
+		if wv == nil {
+			wv = new(big.Rat)
+		}
+		w.Mul(wv, scale)
 		c, ok := ratInt(w)
 		if !ok || c < 0 {
 			// The dim-1 ray is proportional to the truth, so this is a
@@ -92,17 +113,31 @@ func Frequencies(t *Tree, completeLevels int) (FrequencyResult, error) {
 	if !sol.known {
 		return FrequencyResult{}, nil
 	}
+	res, err := frequenciesFromWeights(t, sol.levelZeroWeights(t))
+	sol.release()
+	return res, err
+}
+
+// frequenciesFromWeights converts a per-level-0-class weight assignment to
+// the minimal positive integer ray: exact frequencies.
+func frequenciesFromWeights(t *Tree, weights map[*Node]*big.Rat) (FrequencyResult, error) {
 	// Clear denominators and divide by the gcd to obtain the minimal
 	// positive integer ray.
 	lcm := big.NewInt(1)
 	for _, v := range t.Level(0) {
-		lcm = lcmBig(lcm, sol.weightOf(v).Denom())
+		if w := weights[v]; w != nil {
+			lcm = lcmBig(lcm, w.Denom())
+		}
 	}
 	counts := make(map[Input]*big.Int, len(t.Level(0)))
 	gcd := new(big.Int)
 	total := new(big.Int)
+	zero := new(big.Rat)
 	for _, v := range t.Level(0) {
-		w := sol.weightOf(v)
+		w := weights[v]
+		if w == nil {
+			w = zero
+		}
 		c := new(big.Int).Mul(w.Num(), new(big.Int).Div(lcm, w.Denom()))
 		if c.Sign() < 0 {
 			return FrequencyResult{}, fmt.Errorf("historytree: negative class weight for input %s", v.Input)
@@ -170,47 +205,141 @@ func CheckWeights(t *Tree, completeLevels int, card map[int]int) error {
 	return nil
 }
 
+// Resolvable is a cheap necessary condition for the balance system of the
+// complete prefix to pin down the counts: every class of the deepest
+// complete level must have, somewhere on its ancestor chain (itself
+// included), a red edge from a class other than its own parent. A class
+// without one appears in no balance equation — its column is identically
+// zero — so the null space has dimension ≥ 2 and the rank cannot reach
+// k−1. Count and Solver use it to skip elimination on trivially
+// undetermined levels; it runs in O(nodes of the prefix).
+func Resolvable(t *Tree, completeLevels int) bool {
+	if completeLevels < 0 || completeLevels > t.Depth() || len(t.Level(completeLevels)) < 2 {
+		return true
+	}
+	covered := make(map[*Node]bool)
+	for l := 1; l <= completeLevels; l++ {
+		for _, v := range t.Level(l) {
+			covered[v] = covered[v.Parent] || crossRed(v)
+		}
+	}
+	for _, v := range t.Level(completeLevels) {
+		if !covered[v] {
+			return false
+		}
+	}
+	return true
+}
+
 // solution carries the solved ray: a rational weight per node of the
-// deepest complete level, plus the descendant-coefficient map for
-// evaluating shallower nodes.
+// deepest complete level, plus ancestor chains for evaluating shallower
+// nodes. Coefficient vectors over the basis are never materialized per
+// node: a node's vector is the 0/1 indicator of its basis descendants,
+// read off the ancestor chains on demand.
 type solution struct {
 	known  bool
 	leaves []*Node
-	index  map[*Node]int
-	coef   map[*Node][]int64
+	anc    [][]*Node        // anc[l][i] = level-l ancestor of leaf i
+	cols   []map[*Node]cols // lazy per-level column lists
+	row    []int64          // pooled equation-row scratch
 	ray    []*big.Rat
 }
 
-// balanced checks one balance equation directly on the solved ray.
-func (s *solution) balanced(pair nodePair) bool {
-	lhs := new(big.Rat)
-	rhs := new(big.Rat)
-	term := new(big.Rat)
+// cols lists the basis columns (leaf indices) under one node.
+type cols []int32
+
+// vecPool recycles the []int64 equation-row vectors across solve calls.
+var vecPool = sync.Pool{New: func() any { return []int64(nil) }}
+
+func getVec(k int) []int64 {
+	v := vecPool.Get().([]int64)
+	if cap(v) < k {
+		return make([]int64, k)
+	}
+	v = v[:k]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// release returns pooled scratch to the pool; the solution must not be
+// used for equation evaluation afterwards.
+func (s *solution) release() {
+	if s.row != nil {
+		vecPool.Put(s.row)
+		s.row = nil
+	}
+}
+
+// colsAt returns the node→columns map of one level, materializing it on
+// first use so levels above the deepest one actually referenced (the early
+// stop in solve) cost nothing.
+func (s *solution) colsAt(l int) map[*Node]cols {
+	if s.cols[l] == nil {
+		m := make(map[*Node]cols, len(s.anc[l]))
+		for i, v := range s.anc[l] {
+			m[v] = append(m[v], int32(i))
+		}
+		s.cols[l] = m
+	}
+	return s.cols[l]
+}
+
+// fillRow writes one balance equation over the basis into s.row and
+// reports whether any entry is nonzero.
+func (s *solution) fillRow(pair nodePair) bool {
+	for i := range s.row {
+		s.row[i] = 0
+	}
+	used := false
+	under := s.colsAt(pair.u.Level + 1)
 	for _, c := range pair.w.Children {
 		if m := c.RedMult(pair.u); m != 0 {
-			term.SetInt64(int64(m))
-			lhs.Add(lhs, term.Mul(term, s.weightOf(c)))
+			for _, i := range under[c] {
+				s.row[i] += int64(m)
+			}
+			used = true
 		}
 	}
 	for _, c := range pair.u.Children {
 		if m := c.RedMult(pair.w); m != 0 {
-			term.SetInt64(int64(m))
-			rhs.Add(rhs, term.Mul(term, s.weightOf(c)))
+			for _, i := range under[c] {
+				s.row[i] -= int64(m)
+			}
+			used = true
 		}
 	}
-	return lhs.Cmp(rhs) == 0
+	return used
 }
 
-// weightOf evaluates the ray on any node of a complete level.
-func (s *solution) weightOf(v *Node) *big.Rat {
-	out := new(big.Rat)
+// balanced checks one balance equation directly on the solved ray.
+func (s *solution) balanced(pair nodePair) bool {
+	if !s.fillRow(pair) {
+		return true
+	}
+	lhs := new(big.Rat)
 	term := new(big.Rat)
-	for i, c := range s.coef[v] {
+	for i, c := range s.row {
 		if c == 0 {
 			continue
 		}
 		term.SetInt64(c)
-		out.Add(out, term.Mul(term, s.ray[i]))
+		lhs.Add(lhs, term.Mul(term, s.ray[i]))
+	}
+	return lhs.Sign() == 0
+}
+
+// levelZeroWeights evaluates the ray on every level-0 class.
+func (s *solution) levelZeroWeights(t *Tree) map[*Node]*big.Rat {
+	out := make(map[*Node]*big.Rat, len(t.Level(0)))
+	for i, x := range s.ray {
+		v := s.anc[0][i]
+		if w, ok := out[v]; ok {
+			w.Add(w, x)
+		} else {
+			out[v] = new(big.Rat).Set(x)
+		}
 	}
 	return out
 }
@@ -224,34 +353,24 @@ func solve(t *Tree, completeLevels int) (*solution, error) {
 	if k == 0 {
 		return nil, fmt.Errorf("historytree: empty level %d", completeLevels)
 	}
-	sol := &solution{
-		leaves: leaves,
-		index:  make(map[*Node]int, k),
-		coef:   make(map[*Node][]int64),
+	sol := &solution{leaves: leaves}
+	if !Resolvable(t, completeLevels) {
+		return sol, nil // trivially undetermined; skip elimination entirely
 	}
-	for i, v := range leaves {
-		sol.index[v] = i
-		vec := make([]int64, k)
-		vec[i] = 1
-		sol.coef[v] = vec
-	}
-	// Propagate descendant coefficients upward.
+	// Ancestor chains: O(k) pointer hops per level, in place of the old
+	// per-node k-length coefficient vectors (O(levels·k²) words).
+	sol.anc = make([][]*Node, completeLevels+1)
+	sol.anc[completeLevels] = leaves
 	for l := completeLevels - 1; l >= 0; l-- {
-		for _, v := range t.Level(l) {
-			vec := make([]int64, k)
-			for _, c := range v.Children {
-				cv, ok := sol.coef[c]
-				if !ok {
-					// Child beyond the complete prefix contributes nothing.
-					continue
-				}
-				for i := range vec {
-					vec[i] += cv[i]
-				}
-			}
-			sol.coef[v] = vec
+		a := make([]*Node, k)
+		up := sol.anc[l+1]
+		for i := range a {
+			a[i] = up[i].Parent
 		}
+		sol.anc[l] = a
 	}
+	sol.cols = make([]map[*Node]cols, completeLevels+1)
+	sol.row = getVec(k)
 
 	// Collect the homogeneous balance system and reduce it incrementally.
 	// On a well-formed history tree the truth is a nonzero null vector, so
@@ -262,19 +381,17 @@ func solve(t *Tree, completeLevels int) (*solution, error) {
 collect:
 	for l := 0; l < completeLevels; l++ {
 		for _, pair := range balancePairs(t, l) {
-			row := make([]*big.Rat, k)
-			for i := range row {
-				row[i] = new(big.Rat)
+			if !sol.fillRow(pair) {
+				continue
 			}
-			addTerms(row, pair.w.Children, pair.u, sol, 1)
-			addTerms(row, pair.u.Children, pair.w, sol, -1)
-			rref.add(row)
+			rref.addInts(sol.row)
 			if rref.rank >= k-1 {
 				break collect
 			}
 		}
 	}
 	if rref.rank != k-1 {
+		sol.release()
 		return sol, nil // not (or over-) determined
 	}
 	sol.ray = rref.nullVector()
@@ -287,6 +404,7 @@ collect:
 	for l := 0; l < completeLevels; l++ {
 		for _, pair := range balancePairs(t, l) {
 			if !sol.balanced(pair) {
+				sol.release()
 				return &solution{}, nil
 			}
 		}
@@ -309,34 +427,12 @@ collect:
 		if x.Sign() <= 0 {
 			// Mixed signs: the system pinned down a ray that cannot be a
 			// cardinality vector; treat as undetermined rather than wrong.
+			sol.release()
 			return &solution{}, nil
 		}
 	}
 	sol.known = true
 	return sol, nil
-}
-
-// addTerms accumulates sign · Σ_{c ∈ children} mult(c ← src) · coef(c)
-// into row.
-func addTerms(row []*big.Rat, children []*Node, src *Node, sol *solution, sign int64) {
-	term := new(big.Rat)
-	for _, c := range children {
-		m := c.RedMult(src)
-		if m == 0 {
-			continue
-		}
-		cv, ok := sol.coef[c]
-		if !ok {
-			continue
-		}
-		for i, coeff := range cv {
-			if coeff == 0 {
-				continue
-			}
-			term.SetInt64(sign * int64(m) * coeff)
-			row[i].Add(row[i], term)
-		}
-	}
 }
 
 // nodePair is an unordered pair of same-level nodes linked by at least one
@@ -371,35 +467,52 @@ func balancePairs(t *Tree, l int) []nodePair {
 }
 
 // rref maintains a reduced row-echelon basis of the row space, supporting
-// incremental row insertion and null-vector extraction.
+// incremental row insertion and null-vector extraction. Row cells are
+// flat-backed (one allocation per row) and the multiply scratches are
+// reused across calls instead of allocating a big.Rat per cell.
 type rref struct {
 	cols  int
 	rows  [][]*big.Rat // reduced rows, each with leading coefficient 1
 	pivot []int        // pivot column of each row
 	rank  int
 	has   []bool // has[c] = some row pivots at column c
+
+	tmp, factor big.Rat // scratch
 }
 
 func newRREF(cols int) *rref {
 	return &rref{cols: cols, has: make([]bool, cols)}
 }
 
+// addInts converts an integer row to rationals and adds it; the input is
+// not retained.
+func (r *rref) addInts(ints []int64) {
+	backing := make([]big.Rat, r.cols)
+	row := make([]*big.Rat, r.cols)
+	for i := range row {
+		row[i] = &backing[i]
+		if ints[i] != 0 {
+			row[i].SetInt64(ints[i])
+		}
+	}
+	r.add(row)
+}
+
 // add reduces row against the basis and inserts it if independent. The row
 // is consumed.
 func (r *rref) add(row []*big.Rat) {
-	tmp := new(big.Rat)
 	for i, br := range r.rows {
 		p := r.pivot[i]
 		if row[p].Sign() == 0 {
 			continue
 		}
-		factor := new(big.Rat).Set(row[p])
+		r.factor.Set(row[p])
 		for c := 0; c < r.cols; c++ {
 			if br[c].Sign() == 0 {
 				continue
 			}
-			tmp.Mul(factor, br[c])
-			row[c].Sub(row[c], tmp)
+			r.tmp.Mul(&r.factor, br[c])
+			row[c].Sub(row[c], &r.tmp)
 		}
 	}
 	p := -1
@@ -412,23 +525,22 @@ func (r *rref) add(row []*big.Rat) {
 	if p < 0 {
 		return // dependent
 	}
-	inv := new(big.Rat).Inv(row[p])
+	r.factor.Inv(row[p])
 	for c := p; c < r.cols; c++ {
-		row[c].Mul(row[c], inv)
+		row[c].Mul(row[c], &r.factor)
 	}
 	// Back-eliminate the new pivot from existing rows.
-	for i, br := range r.rows {
-		_ = i
+	for _, br := range r.rows {
 		if br[p].Sign() == 0 {
 			continue
 		}
-		factor := new(big.Rat).Set(br[p])
+		r.factor.Set(br[p])
 		for c := 0; c < r.cols; c++ {
 			if row[c].Sign() == 0 {
 				continue
 			}
-			tmp.Mul(factor, row[c])
-			br[c].Sub(br[c], tmp)
+			r.tmp.Mul(&r.factor, row[c])
+			br[c].Sub(br[c], &r.tmp)
 		}
 	}
 	r.rows = append(r.rows, row)

@@ -86,6 +86,12 @@ type Tree struct {
 	root   *Node
 	levels [][]*Node // levels[i] holds level i-1; levels[0] = {root}
 	byID   map[int]*Node
+	// gen counts destructive truncations. Node IDs are reused after a
+	// protocol reset (the congested algorithm restores its fresh-ID counter
+	// from a snapshot), so incremental consumers such as Solver cannot rely
+	// on IDs to detect that the prefix they consumed was rewritten; they
+	// compare generations instead.
+	gen uint64
 }
 
 // New returns a tree containing only the root node, with ID RootID.
@@ -169,6 +175,10 @@ func (t *Tree) AddRed(v, src *Node, mult int) error {
 	return nil
 }
 
+// Generation returns the tree's truncation generation: it changes whenever
+// TruncateLevels removes nodes, and is stable under pure growth.
+func (t *Tree) Generation() uint64 { return t.gen }
+
 // TruncateLevels removes all levels ≥ from (from ≥ 0), deleting the nodes
 // and any edges incident to them. It implements the reset of Listing 6.
 func (t *Tree) TruncateLevels(from int) {
@@ -179,6 +189,7 @@ func (t *Tree) TruncateLevels(from int) {
 	if idx >= len(t.levels) {
 		return
 	}
+	t.gen++
 	for _, level := range t.levels[idx:] {
 		for _, node := range level {
 			delete(t.byID, node.ID)

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"anondyn/internal/core"
+)
+
+// Timing summarizes where a run's real time went: the whole run's wall
+// clock versus the slice spent inside the cardinality solver (and how many
+// solver invocations that was). It is the timing companion to the message
+// log: cmd/experiments attaches one Timing per table row so JSON consumers
+// can see whether a slow sweep point is engine- or solver-bound.
+type Timing struct {
+	// WallClock is the full run duration, engine included.
+	WallClock time.Duration
+	// SolverTime is the deciding process's cumulative time inside the
+	// counting solver, over SolverCalls invocations.
+	SolverTime  time.Duration
+	SolverCalls int
+}
+
+// TimingOf extracts the timing view of a run's statistics.
+func TimingOf(st core.RunStats) *Timing {
+	return &Timing{WallClock: st.WallClock, SolverTime: st.SolverTime, SolverCalls: st.SolverCalls}
+}
+
+// Add accumulates another run's timing into t (for sweep points that
+// aggregate several seeds).
+func (t *Timing) Add(o *Timing) {
+	t.WallClock += o.WallClock
+	t.SolverTime += o.SolverTime
+	t.SolverCalls += o.SolverCalls
+}
+
+// WallMS returns the wall clock in milliseconds.
+func (t *Timing) WallMS() float64 { return float64(t.WallClock) / float64(time.Millisecond) }
+
+// SolverMS returns the solver time in milliseconds.
+func (t *Timing) SolverMS() float64 { return float64(t.SolverTime) / float64(time.Millisecond) }
+
+// String renders the timing compactly, e.g. "wall 12.4ms, solver 3.1ms (25%, 17 calls)".
+func (t *Timing) String() string {
+	share := 0.0
+	if t.WallClock > 0 {
+		share = 100 * float64(t.SolverTime) / float64(t.WallClock)
+	}
+	return fmt.Sprintf("wall %.1fms, solver %.1fms (%.0f%%, %d calls)",
+		t.WallMS(), t.SolverMS(), share, t.SolverCalls)
+}
