@@ -23,15 +23,17 @@ race:
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Run the benchmark-regression suite and record BENCH_PR2.json (see
+# Run the benchmark-regression suite and record BENCH_PR3.json (see
 # EXPERIMENTS.md, "Perf appendix").
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR2.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
 
 # Compare two BENCH_*.json reports; fails on >20% ns/op regression.
-# Usage: make benchcmp OLD=BENCH_PR1.json NEW=BENCH_PR2.json
+# Usage: make benchcmp BASE=BENCH_PR2.json [NEW=BENCH_PR3.json]
+BASE ?= BENCH_PR2.json
+NEW ?= BENCH_PR3.json
 benchcmp:
-	$(GO) run ./cmd/benchreport -compare -old $(OLD) -new $(NEW)
+	$(GO) run ./cmd/benchreport -compare -old $(BASE) -new $(NEW)
 
 # The raw testing.B entries (one per reproduction experiment).
 gobench:

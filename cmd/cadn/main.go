@@ -57,12 +57,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		keepAll    = fs.Bool("keepall", false, "ablation: disable the Section 3.4 spanning-tree restriction")
 		eager      = fs.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
 		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
+		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution) or concurrent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
-		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager)
+		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
 		return 2
@@ -78,7 +79,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 // Any error it returns is a usage error (exit status 2).
 func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
-	fine bool, batch int, keepAll, eager bool) (service.JobSpec, error) {
+	fine bool, batch int, keepAll, eager bool, scheduler string) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
 		Topology:   topology,
@@ -92,6 +93,7 @@ func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 		Batch:      batch,
 		KeepAll:    keepAll,
 		Eager:      eager,
+		Scheduler:  scheduler,
 	}
 	if inputsFlag != "" {
 		parts := strings.Split(inputsFlag, ",")

@@ -120,8 +120,9 @@ func TestValidateFlagCombinations(t *testing.T) {
 		bitLimit   int
 		fine       bool
 		batch      int
+		scheduler  string
 	}
-	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1}
+	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential"}
 	tests := []struct {
 		name    string
 		mut     func(*args)
@@ -145,13 +146,14 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{name: "isolator-with-T", mut: func(a *args) { a.topology = "isolator"; a.blockT = 3 }, wantErr: "isolator"},
 		{name: "inputs-count-mismatch", mut: func(a *args) { a.inputs = "1,2" }, wantErr: "input values"},
 		{name: "inputs-not-numeric", mut: func(a *args) { a.inputs = "a,b,c,d" }, wantErr: "-inputs value"},
+		{name: "unknown-scheduler", mut: func(a *args) { a.scheduler = "parallel" }, wantErr: "unknown scheduler"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			a := ok
 			tt.mut(&a)
 			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
-				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false)
+				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

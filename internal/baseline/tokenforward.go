@@ -47,9 +47,9 @@ func RunTokenForward(s dynnet.Schedule, bound int, seed int64) (*TokenForwardRes
 	space := int64(bound) * int64(bound) * int64(bound)
 
 	rng := rand.New(rand.NewSource(seed))
-	procs := make([]engine.Coroutine, n)
-	steppers := make([]*tokenStepper, n)
-	for i := range procs {
+	steppers := make([]engine.Stepper, n)
+	observer := (*tokenStepper)(nil)
+	for i := range steppers {
 		st := &tokenStepper{
 			rng:    rand.New(rand.NewSource(rng.Int63())),
 			known:  map[int64]bool{},
@@ -58,10 +58,12 @@ func RunTokenForward(s dynnet.Schedule, bound int, seed int64) (*TokenForwardRes
 		st.self = st.rng.Int63n(space)
 		st.known[st.self] = true
 		steppers[i] = st
-		procs[i] = engine.FromStepper(st)
+		if i == 0 {
+			observer = st
+		}
 	}
 
-	res, err := engine.Run(engine.Config{
+	res, err := engine.RunSteppers(engine.Config{
 		Schedule:  s,
 		MaxRounds: rounds + 1,
 		SizeOf: func(m engine.Message) int {
@@ -71,12 +73,12 @@ func RunTokenForward(s dynnet.Schedule, bound int, seed int64) (*TokenForwardRes
 			}
 			return varintBits(tm.token)
 		},
-	}, procs)
+	}, steppers)
 	if err != nil {
 		return nil, err
 	}
 	return &TokenForwardResult{
-		Estimate:       len(steppers[0].known),
+		Estimate:       len(observer.known),
 		Rounds:         res.Rounds,
 		MaxMessageBits: res.MaxMessageBits,
 	}, nil

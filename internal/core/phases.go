@@ -17,6 +17,12 @@ func (p *Process) broadcastStep(m wire.Message) (wire.Message, error) {
 	}
 	top := m
 	for _, r := range msgs {
+		// In steady-state broadcast every neighbor relays the message we
+		// already hold; an equal message can never be strictly higher, so
+		// one struct comparison skips the full priority comparison.
+		if r == top {
+			continue
+		}
 		if Higher(r, top) {
 			top = r
 		}

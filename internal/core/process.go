@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"anondyn/internal/engine"
@@ -21,6 +22,15 @@ type Process struct {
 	rec   *Recorder
 
 	tr transport
+
+	// rxBuf is the wire-message conversion scratch of sendAndReceive,
+	// reused across rounds (see the validity-window note there).
+	rxBuf []wire.Message
+	// txLast / txBoxed cache the last sent message and its interface box,
+	// so re-broadcasting an unchanged message does not re-allocate (see
+	// sendAndReceive).
+	txLast  wire.Message
+	txBoxed engine.Message
 
 	// Internal variables (Listing 1).
 	myID         int
@@ -522,18 +532,20 @@ func (p *Process) haltForward(m wire.Message) error {
 
 // sortMessages orders a received multiset canonically (by label band then
 // parameters) so iteration order never depends on engine delivery order.
+// slices.SortFunc rather than sort.Slice: the generic sort swaps directly
+// instead of building a reflect-based swapper, which matters (and saves an
+// allocation) on a per-round sort of a dozen messages.
 func sortMessages(msgs []wire.Message) {
-	sort.Slice(msgs, func(i, j int) bool {
-		a, b := msgs[i], msgs[j]
+	slices.SortFunc(msgs, func(a, b wire.Message) int {
 		if a.Label != b.Label {
-			return a.Label < b.Label
+			return int(a.Label) - int(b.Label)
 		}
 		if a.A != b.A {
-			return a.A < b.A
+			return cmp.Compare(a.A, b.A)
 		}
 		if a.B != b.B {
-			return a.B < b.B
+			return cmp.Compare(a.B, b.B)
 		}
-		return a.C < b.C
+		return cmp.Compare(a.C, b.C)
 	})
 }

@@ -71,6 +71,11 @@ type RunOptions struct {
 	// Trace, if non-nil, observes every round's sent messages (see
 	// internal/trace for a ready-made logger).
 	Trace func(round int, sent []engine.Message)
+	// Scheduler selects the engine's execution strategy. The zero value is
+	// engine.SchedulerSequential, the direct-execution default;
+	// engine.SchedulerConcurrent runs the processes in parallel (slower,
+	// kept for the equivalence contract and race coverage).
+	Scheduler engine.Scheduler
 }
 
 // Run executes the configured protocol over the schedule with the given
@@ -111,9 +116,10 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 	if ecfg.MaxRounds <= 0 {
 		ecfg.MaxRounds = defaultMaxRounds(n, cfg)
 	}
-	ecfg.SizeOf = SizeOf
+	ecfg.SizeOf = newSizeMemo()
 	ecfg.BitLimit = opts.BitLimit
 	ecfg.Trace = opts.Trace
+	ecfg.Scheduler = opts.Scheduler
 	if cfg.Mode == ModeLeader && !cfg.SimultaneousHalt {
 		// Basic contract: the run is over once the leader has output n.
 		ecfg.StopWhen = func(outputs map[int]any) bool {

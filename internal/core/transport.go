@@ -27,12 +27,19 @@ var _ transport = (*engine.Transport)(nil)
 type blockTransport struct {
 	inner transport
 	t     int
+
+	// acc is the union buffer, reused across virtual rounds: a returned
+	// slice is only read until the next SendAndReceive (the engine's
+	// validity-window contract), so the next virtual round may overwrite
+	// it. It converges to the block's accumulated degree after the first
+	// virtual round, making the steady state allocation-free.
+	acc []engine.Message
 }
 
 var _ transport = (*blockTransport)(nil)
 
 func (b *blockTransport) SendAndReceive(m engine.Message) ([]engine.Message, error) {
-	var acc []engine.Message
+	acc := b.acc[:0]
 	for i := 0; i < b.t; i++ {
 		msgs, err := b.inner.SendAndReceive(m)
 		if err != nil {
@@ -40,6 +47,7 @@ func (b *blockTransport) SendAndReceive(m engine.Message) ([]engine.Message, err
 		}
 		acc = append(acc, msgs...)
 	}
+	b.acc = acc
 	return acc, nil
 }
 
@@ -52,11 +60,28 @@ func (b *blockTransport) PID() int { return b.inner.PID() }
 // sendAndReceive broadcasts a protocol message and converts the received
 // engine messages back to wire messages.
 func (p *Process) sendAndReceive(m wire.Message) ([]wire.Message, error) {
-	raw, err := p.tr.SendAndReceive(m)
+	// Boxing m into the engine.Message interface heap-allocates. Priority
+	// broadcast re-sends the same message for up to Θ(n²) consecutive
+	// rounds, so reusing the previous round's box when the value is
+	// unchanged removes one allocation per process per round — formerly
+	// half of the simulation's total allocation count. The box is never
+	// mutated (the struct is copied into it), so the engine may keep
+	// referencing it after a newer message replaces it.
+	if p.txBoxed == nil || p.txLast != m {
+		p.txBoxed = m
+		p.txLast = m
+	}
+	raw, err := p.tr.SendAndReceive(p.txBoxed)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]wire.Message, len(raw))
+	// The converted slice is scratch reused across rounds: no caller
+	// retains it past its next sendAndReceive (mirroring the engine's
+	// inbox validity window), so the per-round allocation would be waste.
+	if cap(p.rxBuf) < len(raw) {
+		p.rxBuf = make([]wire.Message, len(raw))
+	}
+	out := p.rxBuf[:len(raw)]
 	for i, r := range raw {
 		wm, ok := r.(wire.Message)
 		if !ok {
@@ -74,4 +99,35 @@ func SizeOf(m engine.Message) int {
 		return 0
 	}
 	return wire.SizeBits(wm)
+}
+
+// newSizeMemo returns a SizeOf that memoizes wire.SizeBits per unique
+// message value. Priority broadcast re-sends the same message for up to
+// Θ(n²) consecutive rounds and every process relays it, so the accounting
+// path re-measures identical values constantly; wire.Message is comparable,
+// which makes a map keyed by value an exact cache. Each run gets its own
+// memo (runners invoke SizeOf from a single goroutine, so no locking).
+func newSizeMemo() func(engine.Message) int {
+	memo := make(map[wire.Message]int)
+	var last wire.Message
+	lastBits := -1
+	return func(m engine.Message) int {
+		wm, ok := m.(wire.Message)
+		if !ok {
+			return 0
+		}
+		// Within a round the accounting loop sees the processes' messages
+		// back to back, and during broadcast they are all the same value:
+		// one struct comparison beats hashing into the memo.
+		if lastBits >= 0 && wm == last {
+			return lastBits
+		}
+		bits, ok := memo[wm]
+		if !ok {
+			bits = wire.SizeBits(wm)
+			memo[wm] = bits
+		}
+		last, lastBits = wm, bits
+		return bits
+	}
 }

@@ -13,7 +13,7 @@ package dynnet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -29,8 +29,17 @@ type Link struct {
 // a multiset of undirected links. The zero value is an empty graph on zero
 // processes.
 type Multigraph struct {
-	n     int
+	n int
+	// links is the raw insertion-order list; the same (U, V) pair may
+	// appear more than once (AddLink is append-only so that graph
+	// construction is O(1) per link). Iteration code sums multiplicities,
+	// so duplicates are semantically transparent.
 	links []Link
+	// canon memoizes the canonical (merged, sorted) link list; it is
+	// invalidated by AddLink and rebuilt on demand, so the engine's
+	// once-per-round traversals don't re-sort.
+	canon []Link
+	dirty bool
 }
 
 // NewMultigraph returns an empty multigraph on n processes.
@@ -58,13 +67,9 @@ func (g *Multigraph) AddLink(u, v, mult int) error {
 	if u > v {
 		u, v = v, u
 	}
-	for i := range g.links {
-		if g.links[i].U == u && g.links[i].V == v {
-			g.links[i].Mult += mult
-			return nil
-		}
-	}
 	g.links = append(g.links, Link{U: u, V: v, Mult: mult})
+	g.canon = nil
+	g.dirty = true
 	return nil
 }
 
@@ -76,18 +81,54 @@ func (g *Multigraph) MustAddLink(u, v, mult int) {
 	}
 }
 
-// Links returns a copy of the link multiset in canonical (U ≤ V, sorted)
-// order.
-func (g *Multigraph) Links() []Link {
-	out := make([]Link, len(g.links))
-	copy(out, g.links)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+// cmpLinks orders links by (U, V); multiplicity does not participate.
+func cmpLinks(a, b Link) int {
+	if a.U != b.U {
+		return a.U - b.U
+	}
+	return a.V - b.V
+}
+
+// canonicalize returns the memoized canonical link list: parallel
+// insertions of the same pair merged into one entry, sorted by (U, V). It
+// canonicalizes the raw list in place — insertion order is never
+// observable, every accessor sums multiplicities, and merging only shrinks
+// the list — so a graph's one-time canonicalization allocates nothing.
+func (g *Multigraph) canonicalize() []Link {
+	if !g.dirty {
+		return g.canon
+	}
+	slices.SortFunc(g.links, cmpLinks)
+	merged := g.links[:0]
+	for _, l := range g.links {
+		if k := len(merged); k > 0 && merged[k-1].U == l.U && merged[k-1].V == l.V {
+			merged[k-1].Mult += l.Mult
+			continue
 		}
-		return out[i].V < out[j].V
-	})
+		merged = append(merged, l)
+	}
+	g.links = merged
+	g.canon = merged
+	g.dirty = false
+	return g.canon
+}
+
+// Links returns a copy of the link multiset in canonical (U ≤ V, sorted)
+// order, with parallel insertions of the same pair merged.
+func (g *Multigraph) Links() []Link {
+	canon := g.canonicalize()
+	out := make([]Link, len(canon))
+	copy(out, canon)
 	return out
+}
+
+// CanonicalLinks is Links without the defensive copy: it returns the
+// memoized canonical link list directly. The slice is shared with the
+// graph — callers must not modify it. It exists for once-per-round
+// traversals in simulation hot loops (the engine router, the history-tree
+// oracle), where Links' copy-and-sort dominated profiles.
+func (g *Multigraph) CanonicalLinks() []Link {
+	return g.canonicalize()
 }
 
 // LinkCount returns the total number of links counted with multiplicity.
@@ -174,11 +215,23 @@ func (g *Multigraph) Union(h *Multigraph) (*Multigraph, error) {
 	return out, nil
 }
 
+// setCanonicalLinks installs a link list that the caller guarantees is
+// already canonical: sorted by (U, V), no duplicate pairs, every endpoint
+// in range, every multiplicity positive. It exists for generators inside
+// this package (see randomConnectedV2) that can emit links in canonical
+// order and thereby skip the per-graph sort in simulation hot loops.
+func (g *Multigraph) setCanonicalLinks(links []Link) {
+	g.links = links
+	g.canon = links
+	g.dirty = false
+}
+
 // Clone returns a deep copy of g.
 func (g *Multigraph) Clone() *Multigraph {
 	out := NewMultigraph(g.n)
 	out.links = make([]Link, len(g.links))
 	copy(out.links, g.links)
+	out.dirty = len(out.links) > 0
 	return out
 }
 

@@ -3,6 +3,8 @@ package dynnet
 import (
 	"fmt"
 	"math/rand"
+	randv2 "math/rand/v2"
+	"slices"
 )
 
 // Schedule is a dynamic network: an adversary that produces the
@@ -118,10 +120,14 @@ func NewRandomConnected(n int, p float64, seed int64) *RandomConnectedSchedule {
 // N implements Schedule.
 func (s *RandomConnectedSchedule) N() int { return s.n }
 
-// Graph implements Schedule.
+// Graph implements Schedule. The per-round generator is a PCG seeded by
+// (seed, t): constructing one is O(1), where re-seeding a classic
+// math/rand source costs a 607-word register fill per round — enough to
+// dominate the whole simulation hot loop (see the PR 3 scheduler table in
+// EXPERIMENTS.md). The schedule remains a pure function of (n, p, seed, t).
 func (s *RandomConnectedSchedule) Graph(t int) *Multigraph {
-	rng := rand.New(rand.NewSource(s.seed*1000003 + int64(t)))
-	return RandomConnected(s.n, s.p, rng)
+	rng := randv2.New(randv2.NewPCG(uint64(s.seed), uint64(t)))
+	return randomConnectedV2(s.n, s.p, rng)
 }
 
 // RandomConnected draws one connected graph on n vertices: a random
@@ -146,6 +152,59 @@ func RandomConnected(n int, p float64, rng *rand.Rand) *Multigraph {
 			}
 		}
 	}
+	return g
+}
+
+// randomConnectedV2 is RandomConnected driven by a math/rand/v2 generator
+// — the hot-loop variant used by RandomConnectedSchedule, whose per-round
+// PCG is O(1) to construct (see Graph). It draws the same distribution as
+// RandomConnected but emits the links in canonical (U, V) order — the
+// extra-edge loop already iterates pairs in order, and the n-1 sorted tree
+// edges are merged into that stream — so the graph is born canonical and
+// the engine's once-per-round traversal skips the canonicalization sort
+// that otherwise shows up in simulation profiles.
+func randomConnectedV2(n int, p float64, rng *randv2.Rand) *Multigraph {
+	g := NewMultigraph(n)
+	if n <= 1 {
+		return g
+	}
+	perm := rng.Perm(n)
+	tree := make([]Link, 0, n-1)
+	for i := 1; i < n; i++ {
+		// Attach perm[i] to a uniformly random earlier vertex: a random
+		// recursive tree, which has expected diameter Θ(log n).
+		u, v := perm[i], perm[rng.IntN(i)]
+		if u > v {
+			u, v = v, u
+		}
+		tree = append(tree, Link{U: u, V: v, Mult: 1})
+	}
+	slices.SortFunc(tree, cmpLinks)
+
+	links := make([]Link, 0, n-1+int(p*float64(n*(n-1)/2))+4)
+	emit := func(l Link) {
+		if k := len(links); k > 0 && links[k-1].U == l.U && links[k-1].V == l.V {
+			links[k-1].Mult += l.Mult
+			return
+		}
+		links = append(links, l)
+	}
+	ti := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			for ti < len(tree) && cmpLinks(tree[ti], Link{U: u, V: v}) <= 0 {
+				emit(tree[ti])
+				ti++
+			}
+			if rng.Float64() < p {
+				emit(Link{U: u, V: v, Mult: 1})
+			}
+		}
+	}
+	for ; ti < len(tree); ti++ {
+		emit(tree[ti])
+	}
+	g.setCanonicalLinks(links)
 	return g
 }
 
@@ -280,7 +339,7 @@ func (s *UnionConnectedSchedule) Graph(t int) *Multigraph {
 	phase := (t - 1) % s.t // which slice of the block this round carries
 	full := s.inner.Graph(block)
 	g := NewMultigraph(full.N())
-	for i, l := range full.Links() {
+	for i, l := range full.CanonicalLinks() {
 		if i%s.t == phase {
 			g.MustAddLink(l.U, l.V, l.Mult)
 		}

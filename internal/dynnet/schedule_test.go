@@ -1,6 +1,7 @@
 package dynnet
 
 import (
+	randv2 "math/rand/v2"
 	"testing"
 	"testing/quick"
 )
@@ -65,6 +66,49 @@ func TestRandomConnectedScheduleDeterministicPerRound(t *testing.T) {
 	// Different rounds should (generically) differ.
 	if s.Graph(1).String() == s.Graph(2).String() {
 		t.Log("rounds 1 and 2 coincide (possible but unlikely)")
+	}
+}
+
+// TestRandomConnectedScheduleBornCanonical pins the hot-loop generator's
+// merge construction: the graph it emits must be exactly the graph obtained
+// by replaying the same PCG draws through plain AddLink calls, and its
+// canonical link list must be strictly sorted with merged multiplicities.
+func TestRandomConnectedScheduleBornCanonical(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		seed int64
+	}{{2, 0, 1}, {5, 0.3, 7}, {8, 0.9, 99}, {12, 0.5, 3}} {
+		s := NewRandomConnected(tc.n, tc.p, tc.seed)
+		for _, round := range []int{1, 2, 17} {
+			g := s.Graph(round)
+
+			rng := randv2.New(randv2.NewPCG(uint64(tc.seed), uint64(round)))
+			ref := NewMultigraph(tc.n)
+			perm := rng.Perm(tc.n)
+			for i := 1; i < tc.n; i++ {
+				ref.MustAddLink(perm[i], perm[rng.IntN(i)], 1)
+			}
+			for u := 0; u < tc.n; u++ {
+				for v := u + 1; v < tc.n; v++ {
+					if rng.Float64() < tc.p {
+						ref.MustAddLink(u, v, 1)
+					}
+				}
+			}
+			if got, want := g.String(), ref.String(); got != want {
+				t.Fatalf("n=%d p=%v seed=%d round %d: got %s, want %s",
+					tc.n, tc.p, tc.seed, round, got, want)
+			}
+
+			links := g.CanonicalLinks()
+			for i := 1; i < len(links); i++ {
+				if cmpLinks(links[i-1], links[i]) >= 0 {
+					t.Fatalf("n=%d round %d: links not strictly canonical at %d: %v",
+						tc.n, round, i, links)
+				}
+			}
+		}
 	}
 }
 

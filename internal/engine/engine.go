@@ -5,13 +5,26 @@
 // pseudocode: a process calls Transport.SendAndReceive once per round, which
 // broadcasts its message on all incident links of the current round's
 // multigraph and blocks until the multiset of messages from its neighbors is
-// available. Each process runs in its own goroutine; a central coordinator
-// enforces the round barrier, routes messages according to the schedule, and
-// accounts for message sizes so congestion bounds can be asserted.
+// available. A runner enforces the round barrier, routes messages according
+// to the schedule, and accounts for message sizes so congestion bounds can
+// be asserted.
 //
-// Execution is deterministic: rounds are strict barriers, the delivery order
-// within a round is the canonical link order of the multigraph, and
-// protocols treat deliveries as multisets.
+// Two schedulers execute the same semantics (see Scheduler):
+//
+//   - SchedulerSequential (the default) resumes the parked process
+//     goroutines one at a time by direct handoff — no central event loop,
+//     no selects, no contention — so the per-round cost is the protocol's
+//     own work plus the shared routing.
+//   - SchedulerConcurrent runs every process goroutine in parallel under a
+//     central coordinator. It is retained for the sequential-vs-concurrent
+//     equivalence contract (DESIGN.md §6) and race-detector coverage.
+//
+// State machines (Stepper) can additionally run on RunSteppers, a plain
+// function-call round loop with zero synchronization.
+//
+// Execution is deterministic under either scheduler: rounds are strict
+// barriers, the delivery order within a round is the canonical link order
+// of the multigraph, and protocols treat deliveries as multisets.
 package engine
 
 import (
@@ -82,6 +95,43 @@ type AdaptiveSchedule interface {
 	Graph(round int, sent []Message) *dynnet.Multigraph
 }
 
+// Scheduler selects how the engine executes process coroutines. Both
+// schedulers implement identical semantics (verified by the equivalence
+// suite in equivalence_test.go); they differ only in how control moves
+// between the processes and the round barrier.
+type Scheduler int
+
+const (
+	// SchedulerSequential is the default (zero value): processes are
+	// resumed one at a time by direct unbuffered handoff, with no central
+	// event loop, no selects, and alive/waiting tracked by plain counters.
+	// One process runs at any moment, so the Go runtime's cross-core
+	// synchronization never enters the round hot loop. Simulations are
+	// round-throughput-bound (the protocol runs Θ(n³) rounds), which makes
+	// this the right default; external cancellation is observed at round
+	// boundaries.
+	SchedulerSequential Scheduler = iota
+	// SchedulerConcurrent runs every process goroutine in parallel under a
+	// central coordinator with a select-based event loop. It is retained
+	// for the sequential-vs-concurrent equivalence contract (DESIGN.md §6)
+	// and so the race detector can exercise real cross-goroutine
+	// interleavings; cancellation is additionally observed while waiting
+	// for submissions.
+	SchedulerConcurrent
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerSequential:
+		return "sequential"
+	case SchedulerConcurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Schedule supplies the communication multigraph of every round.
@@ -89,11 +139,15 @@ type Config struct {
 	Schedule dynnet.Schedule
 	// Adaptive, if set, replaces Schedule with a reactive adversary.
 	Adaptive AdaptiveSchedule
+	// Scheduler selects the execution strategy. The zero value is
+	// SchedulerSequential, the direct-execution default.
+	Scheduler Scheduler
 	// MaxRounds caps the run; when exceeded, Run cancels the processes and
 	// returns ErrMaxRounds. It must be positive.
 	MaxRounds int
 	// SizeOf measures a message in bits for congestion accounting. If nil,
-	// sizes are not tracked and BitLimit is ignored.
+	// sizes are not tracked and BitLimit is ignored. It is always invoked
+	// from the runner's own goroutine, never concurrently.
 	SizeOf func(Message) int
 	// BitLimit, when positive and SizeOf is set, aborts the run with a
 	// *BitLimitError as soon as any message exceeds it.
@@ -108,6 +162,34 @@ type Config struct {
 	// the slice between rounds; callbacks must not retain it past the
 	// call (copy if needed).
 	Trace func(round int, sent []Message)
+}
+
+// validate checks the run parameters shared by every scheduler and returns
+// the process count.
+func (cfg *Config) validate(procs int) (int, error) {
+	var n int
+	switch {
+	case cfg.Schedule != nil && cfg.Adaptive != nil:
+		return 0, errors.New("engine: both Schedule and Adaptive set")
+	case cfg.Schedule != nil:
+		n = cfg.Schedule.N()
+	case cfg.Adaptive != nil:
+		n = cfg.Adaptive.N()
+	default:
+		return 0, errors.New("engine: nil schedule")
+	}
+	if procs != n {
+		return 0, fmt.Errorf("engine: %d coroutines for %d processes", procs, n)
+	}
+	if cfg.MaxRounds <= 0 {
+		return 0, fmt.Errorf("engine: non-positive MaxRounds %d", cfg.MaxRounds)
+	}
+	switch cfg.Scheduler {
+	case SchedulerSequential, SchedulerConcurrent:
+	default:
+		return 0, fmt.Errorf("engine: unknown scheduler %d", int(cfg.Scheduler))
+	}
+	return n, nil
 }
 
 // Result summarizes a completed (or cancelled) run.
@@ -132,36 +214,45 @@ func Run(cfg Config, procs []Coroutine) (*Result, error) {
 }
 
 // RunContext is Run with external cancellation: when ctx is cancelled the
-// coordinator stops the run at the next scheduling point (between rounds or
-// while waiting for submissions), releases every process goroutine, waits
-// for them to exit, and returns an error wrapping ctx's cause. The partial
-// Result (rounds executed so far, outputs already produced) is still
-// returned alongside the error.
+// runner stops the run at its next scheduling point (round boundaries
+// under the sequential scheduler; additionally while waiting for
+// submissions under the concurrent one), releases every process goroutine,
+// waits for them to exit, and returns an error wrapping ctx's cause. The
+// partial Result (rounds executed so far, outputs already produced) is
+// still returned alongside the error.
 func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, error) {
-	var n int
-	switch {
-	case cfg.Schedule != nil && cfg.Adaptive != nil:
-		return nil, errors.New("engine: both Schedule and Adaptive set")
-	case cfg.Schedule != nil:
-		n = cfg.Schedule.N()
-	case cfg.Adaptive != nil:
-		n = cfg.Adaptive.N()
-	default:
-		return nil, errors.New("engine: nil schedule")
-	}
-	if len(procs) != n {
-		return nil, fmt.Errorf("engine: %d coroutines for %d processes", len(procs), n)
-	}
-	if cfg.MaxRounds <= 0 {
-		return nil, fmt.Errorf("engine: non-positive MaxRounds %d", cfg.MaxRounds)
+	n, err := cfg.validate(len(procs))
+	if err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Scheduler == SchedulerSequential {
+		s := &seqRunner{
+			cfg:     cfg,
+			ctx:     ctx,
+			n:       n,
+			rt:      newRouter(&cfg, n),
+			state:   make([]procState, n),
+			pending: make([]Message, n),
+			resume:  make([]chan seqResume, n),
+			yield:   make(chan seqYield),
+			// The chain is inert (advance finds nothing) until the first
+			// route resets the cursor; start-phase submissions must not
+			// deliver to already-parked processes.
+			cursor: n,
+		}
+		for i := range s.resume {
+			s.resume[i] = make(chan seqResume)
+		}
+		return s.run(procs)
 	}
 	c := &coordinator{
 		cfg:    cfg,
 		ctx:    ctx,
 		n:      n,
+		rt:     newRouter(&cfg, n),
 		events: make(chan event),
 		stop:   make(chan struct{}),
 		inbox:  make([]chan []Message, n),
@@ -170,8 +261,7 @@ func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, er
 	for i := range c.inbox {
 		c.inbox[i] = make(chan []Message, 1)
 	}
-	res, err := c.run(procs)
-	return res, err
+	return c.run(procs)
 }
 
 type procState int
@@ -195,37 +285,31 @@ type evKind int
 const (
 	evSubmit evKind = iota + 1
 	evDone
+	// evSweep is used only by the sequential runner: a round's resume chain
+	// completed inside a process, which hands control back to the runner.
+	evSweep
 )
 
 type coordinator struct {
 	cfg    Config
 	ctx    context.Context
 	n      int
+	rt     *router
 	events chan event
 	stop   chan struct{}
 	inbox  []chan []Message
 	state  []procState
 
-	round   int
 	pending []Message // message submitted by each process this round
-
-	// Round-delivery scratch, reused across rounds to keep the hot loop
-	// allocation-free: headers and degree counts are per-pid, sent /
-	// sentByPID hold the round's submissions, and the delivery backing
-	// arrays are double-buffered (even/odd rounds) so a process may keep
-	// reading its previous round's inbox slice until its next
-	// SendAndReceive, per the documented validity window.
-	outHeads  [][]Message
-	degree    []int
-	sent      []Message
-	sentByPID []Message
-	backings  [2][]Message
 }
 
-// Transport is the per-process communication endpoint handed to Coroutine.Run.
+// Transport is the per-process communication endpoint handed to
+// Coroutine.Run. Exactly one of coord and seq is set, matching the
+// scheduler the run was started under.
 type Transport struct {
 	pid   int
 	coord *coordinator
+	seq   *seqRunner
 	round int
 }
 
@@ -248,6 +332,9 @@ func (t *Transport) Round() int { return t.round }
 // SendAndReceive call: the engine round-robins the backing storage between
 // rounds. Processes that need deliveries across rounds must copy them.
 func (t *Transport) SendAndReceive(msg Message) ([]Message, error) {
+	if t.seq != nil {
+		return t.seq.sendAndReceive(t, msg)
+	}
 	select {
 	case t.coord.events <- event{pid: t.pid, kind: evSubmit, msg: msg}:
 	case <-t.coord.stop:
@@ -293,13 +380,17 @@ func (c *coordinator) run(procs []Coroutine) (*Result, error) {
 	c.pending = make([]Message, c.n)
 	var runErr error
 
+	// alive and waiting are maintained incrementally on submit/done/deliver
+	// transitions, so the per-event cost is O(1) instead of the former
+	// O(n) census scan (O(n²) coordinator work per round).
+	alive, waiting := c.n, 0
+
 loop:
 	for {
 		if err := c.ctx.Err(); err != nil {
 			runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(c.ctx))
 			break
 		}
-		alive, waiting := c.census()
 		if alive == 0 {
 			break // every process returned
 		}
@@ -309,10 +400,11 @@ loop:
 				runErr = err
 				break
 			}
+			waiting = 0
 			if c.cfg.StopWhen != nil && c.cfg.StopWhen(res.Outputs) {
 				break
 			}
-			if c.round >= c.cfg.MaxRounds {
+			if c.rt.round >= c.cfg.MaxRounds {
 				runErr = ErrMaxRounds
 				break
 			}
@@ -329,8 +421,13 @@ loop:
 		case evSubmit:
 			c.state[ev.pid] = stateWaiting
 			c.pending[ev.pid] = ev.msg
+			waiting++
 		case evDone:
+			if c.state[ev.pid] == stateWaiting {
+				waiting--
+			}
 			c.state[ev.pid] = stateDone
+			alive--
 			if ev.err != nil && !errors.Is(ev.err, ErrStopped) {
 				runErr = fmt.Errorf("engine: process %d: %w", ev.pid, ev.err)
 				break loop
@@ -354,146 +451,19 @@ loop:
 				res.Outputs[ev.pid] = ev.output
 			}
 		default:
-			res.Rounds = c.round
+			res.Rounds = c.rt.round
 			return res, runErr
 		}
 	}
 }
 
-// census returns the number of processes still participating and how many
-// of them have submitted this round.
-func (c *coordinator) census() (alive, waiting int) {
-	for _, s := range c.state {
-		switch s {
-		case stateRunning:
-			alive++
-		case stateWaiting:
-			alive++
-			waiting++
-		}
-	}
-	return alive, waiting
-}
-
-// deliver completes one round: accounts sizes, routes the pending messages
-// along the round's multigraph, and releases the waiting processes. All of
-// its working storage lives on the coordinator and is reused round to
-// round, so a steady-state round performs at most one allocation (growing
-// a delivery backing array).
+// deliver completes one round: it routes the pending messages through the
+// shared router and releases the waiting processes.
 func (c *coordinator) deliver(res *Result) error {
-	c.round++
-
-	if c.outHeads == nil {
-		c.outHeads = make([][]Message, c.n)
-		c.degree = make([]int, c.n)
-		c.sent = make([]Message, 0, c.n)
-		c.sentByPID = make([]Message, c.n)
+	out, err := c.rt.route(c.state, c.pending, res)
+	if err != nil {
+		return err
 	}
-	out := c.outHeads
-	sent := c.sent[:0]
-	sentByPID := c.sentByPID
-	for pid := range sentByPID {
-		sentByPID[pid] = nil
-	}
-	for pid, s := range c.state {
-		if s != stateWaiting {
-			continue
-		}
-		msg := c.pending[pid]
-		sent = append(sent, msg)
-		sentByPID[pid] = msg
-		res.TotalMessages++
-		if c.cfg.SizeOf != nil {
-			bits := c.cfg.SizeOf(msg)
-			res.TotalBits += int64(bits)
-			if bits > res.MaxMessageBits {
-				res.MaxMessageBits = bits
-			}
-			if c.cfg.BitLimit > 0 && bits > c.cfg.BitLimit {
-				return &BitLimitError{Round: c.round, Process: pid, Bits: bits, Limit: c.cfg.BitLimit}
-			}
-		}
-	}
-
-	var g *dynnet.Multigraph
-	if c.cfg.Adaptive != nil {
-		g = c.cfg.Adaptive.Graph(c.round, sentByPID)
-	} else {
-		g = c.cfg.Schedule.Graph(c.round)
-	}
-	if g.N() != c.n {
-		return fmt.Errorf("engine: schedule produced graph on %d processes at round %d, want %d",
-			g.N(), c.round, c.n)
-	}
-
-	// Pre-size every inbox by the process's degree in the round's
-	// multigraph (counting multiplicities), then carve all inboxes out of
-	// one backing array. The backing arrays alternate by round parity: a
-	// process may legitimately keep reading its previous round's inbox
-	// slice until its next SendAndReceive (see the Transport contract), so
-	// the buffer written this round must not be the one delivered last
-	// round.
-	links := g.Links()
-	deg := c.degree
-	for pid := range deg {
-		deg[pid] = 0
-	}
-	total := 0
-	for _, l := range links {
-		uAlive := c.state[l.U] == stateWaiting
-		vAlive := c.state[l.V] == stateWaiting
-		if l.U == l.V {
-			if uAlive {
-				deg[l.U] += l.Mult
-				total += l.Mult
-			}
-			continue
-		}
-		if uAlive && vAlive {
-			deg[l.U] += l.Mult
-			deg[l.V] += l.Mult
-			total += 2 * l.Mult
-		}
-	}
-	backing := c.backings[c.round&1]
-	if cap(backing) < total {
-		backing = make([]Message, 0, total)
-		c.backings[c.round&1] = backing
-	}
-	off := 0
-	for pid := range out {
-		if deg[pid] == 0 {
-			out[pid] = nil
-			continue
-		}
-		out[pid] = backing[off : off : off+deg[pid]]
-		off += deg[pid]
-	}
-
-	for _, l := range links {
-		uAlive := c.state[l.U] == stateWaiting
-		vAlive := c.state[l.V] == stateWaiting
-		if l.U == l.V {
-			if uAlive {
-				for k := 0; k < l.Mult; k++ {
-					out[l.U] = append(out[l.U], c.pending[l.U])
-				}
-			}
-			continue
-		}
-		for k := 0; k < l.Mult; k++ {
-			if uAlive && vAlive {
-				out[l.U] = append(out[l.U], c.pending[l.V])
-				out[l.V] = append(out[l.V], c.pending[l.U])
-			}
-			// A terminated endpoint neither sends nor receives.
-		}
-	}
-
-	if c.cfg.Trace != nil {
-		c.cfg.Trace(c.round, sent)
-	}
-
 	for pid, s := range c.state {
 		if s != stateWaiting {
 			continue

@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+// The sequential-vs-concurrent equivalence contract (DESIGN.md §6): both
+// schedulers — and the RunSteppers fast path — must produce byte-identical
+// Results (Rounds, Outputs, MaxMessageBits, TotalMessages, TotalBits) and
+// identical Trace streams for any deterministic protocol, because they
+// share the routing core and differ only in how control moves between the
+// processes and the round barrier.
+
+// schedulers lists the two coroutine schedulers under test.
+var schedulers = []Scheduler{SchedulerSequential, SchedulerConcurrent}
+
+// mixedProc is a deterministic protocol with per-process lifetimes: process
+// pid runs base+pid%3 rounds, sends pid*1000+round, and returns the sorted
+// multiset checksum of everything it received.
+func mixedProc(pid, base int) Coroutine {
+	return CoroutineFunc(func(t *Transport) (any, error) {
+		rounds := base + pid%3
+		sum := 0
+		for i := 0; i < rounds; i++ {
+			msgs, err := t.SendAndReceive(pid*1000 + i)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range msgs {
+				sum = sum*31 + m.(int)
+			}
+		}
+		return sum, nil
+	})
+}
+
+// rotPathAdaptive is a reactive test adversary: each round it links the
+// still-sending processes into a path whose order rotates with the round,
+// so the graph genuinely depends on both the round and the sent slice.
+type rotPathAdaptive struct{ n int }
+
+func (a rotPathAdaptive) N() int { return a.n }
+
+func (a rotPathAdaptive) Graph(round int, sent []Message) *dynnet.Multigraph {
+	g := dynnet.NewMultigraph(a.n)
+	var active []int
+	for pid, m := range sent {
+		if m != nil {
+			active = append(active, pid)
+		}
+	}
+	for i := 1; i < len(active); i++ {
+		u := active[(i-1+round)%len(active)]
+		v := active[(i+round)%len(active)]
+		if u != v {
+			g.MustAddLink(u, v, 1)
+		}
+	}
+	return g
+}
+
+// captureTrace returns a Trace hook appending each round's sent messages
+// (copied) to the returned log.
+func captureTrace() (*[]string, func(round int, sent []Message)) {
+	log := &[]string{}
+	return log, func(round int, sent []Message) {
+		*log = append(*log, fmt.Sprintf("%d:%v", round, sent))
+	}
+}
+
+// runUnder executes the mixed-lifetime protocol on n processes under the
+// given scheduler and returns the result and trace stream.
+func runUnder(t *testing.T, sched Scheduler, cfg Config, n, base int) (*Result, []string, error) {
+	t.Helper()
+	log, hook := captureTrace()
+	cfg.Scheduler = sched
+	cfg.Trace = hook
+	cfg.SizeOf = func(m Message) int { return m.(int)%13 + 3 }
+	procs := make([]Coroutine, n)
+	for pid := range procs {
+		procs[pid] = mixedProc(pid, base)
+	}
+	res, err := Run(cfg, procs)
+	return res, *log, err
+}
+
+// assertSameRun fails unless the two runs are byte-identical in every
+// Result field and in their trace streams.
+func assertSameRun(t *testing.T, seqRes, conRes *Result, seqTrace, conTrace []string) {
+	t.Helper()
+	if seqRes.Rounds != conRes.Rounds {
+		t.Errorf("Rounds: sequential %d, concurrent %d", seqRes.Rounds, conRes.Rounds)
+	}
+	if !reflect.DeepEqual(seqRes.Outputs, conRes.Outputs) {
+		t.Errorf("Outputs differ:\nsequential %v\nconcurrent %v", seqRes.Outputs, conRes.Outputs)
+	}
+	if seqRes.MaxMessageBits != conRes.MaxMessageBits {
+		t.Errorf("MaxMessageBits: sequential %d, concurrent %d", seqRes.MaxMessageBits, conRes.MaxMessageBits)
+	}
+	if seqRes.TotalMessages != conRes.TotalMessages {
+		t.Errorf("TotalMessages: sequential %d, concurrent %d", seqRes.TotalMessages, conRes.TotalMessages)
+	}
+	if seqRes.TotalBits != conRes.TotalBits {
+		t.Errorf("TotalBits: sequential %d, concurrent %d", seqRes.TotalBits, conRes.TotalBits)
+	}
+	if !reflect.DeepEqual(seqTrace, conTrace) {
+		t.Errorf("Trace streams differ:\nsequential %v\nconcurrent %v", seqTrace, conTrace)
+	}
+}
+
+// TestSchedulerEquivalence sweeps n × schedule family × seed and asserts
+// the equivalence contract on full-completion runs.
+func TestSchedulerEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 9} {
+		for _, seed := range []int64{1, 7} {
+			families := []struct {
+				name string
+				cfg  func() Config
+			}{
+				{name: "static-cycle", cfg: func() Config {
+					return Config{Schedule: dynnet.NewStatic(dynnet.Cycle(n))}
+				}},
+				{name: "static-complete", cfg: func() Config {
+					return Config{Schedule: dynnet.NewStatic(dynnet.Complete(n))}
+				}},
+				{name: "random-connected", cfg: func() Config {
+					return Config{Schedule: dynnet.NewRandomConnected(n, 0.4, seed)}
+				}},
+				{name: "adaptive-rotating-path", cfg: func() Config {
+					return Config{Adaptive: rotPathAdaptive{n: n}}
+				}},
+			}
+			for _, fam := range families {
+				name := fmt.Sprintf("%s/n=%d/seed=%d", fam.name, n, seed)
+				t.Run(name, func(t *testing.T) {
+					base := 3 + int(seed)
+					cfg := fam.cfg()
+					cfg.MaxRounds = 100
+					seqRes, seqTrace, err := runUnder(t, SchedulerSequential, cfg, n, base)
+					if err != nil {
+						t.Fatalf("sequential: %v", err)
+					}
+					cfg = fam.cfg()
+					cfg.MaxRounds = 100
+					conRes, conTrace, err := runUnder(t, SchedulerConcurrent, cfg, n, base)
+					if err != nil {
+						t.Fatalf("concurrent: %v", err)
+					}
+					assertSameRun(t, seqRes, conRes, seqTrace, conTrace)
+				})
+			}
+		}
+	}
+}
+
+// TestSchedulerEquivalenceStopWhen pins the StopWhen semantics: process 0
+// finishes after three rounds, the rest would run forever, and the run must
+// stop with exactly process 0's output under both schedulers.
+func TestSchedulerEquivalenceStopWhen(t *testing.T) {
+	const n = 4
+	build := func() []Coroutine {
+		procs := make([]Coroutine, n)
+		procs[0] = echoProc(3)
+		for pid := 1; pid < n; pid++ {
+			procs[pid] = CoroutineFunc(func(tr *Transport) (any, error) {
+				for {
+					if _, err := tr.SendAndReceive(tr.PID()); err != nil {
+						return nil, err
+					}
+				}
+			})
+		}
+		return procs
+	}
+	type outcome struct {
+		res   *Result
+		trace []string
+	}
+	got := map[Scheduler]outcome{}
+	for _, sched := range schedulers {
+		log, hook := captureTrace()
+		res, err := Run(Config{
+			Schedule:  dynnet.NewStatic(dynnet.Complete(n)),
+			MaxRounds: 100,
+			Scheduler: sched,
+			Trace:     hook,
+			StopWhen:  func(out map[int]any) bool { _, ok := out[0]; return ok },
+		}, build())
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if len(res.Outputs) != 1 {
+			t.Fatalf("%v: outputs %v, want only process 0", sched, res.Outputs)
+		}
+		got[sched] = outcome{res: res, trace: *log}
+	}
+	seq, con := got[SchedulerSequential], got[SchedulerConcurrent]
+	assertSameRun(t, seq.res, con.res, seq.trace, con.trace)
+}
+
+// TestSchedulerEquivalenceBitLimit pins the BitLimit semantics: the first
+// violating (round, process, bits) is identical under both schedulers
+// because accounting happens in the shared router.
+func TestSchedulerEquivalenceBitLimit(t *testing.T) {
+	const n = 3
+	var want *BitLimitError
+	for _, sched := range schedulers {
+		procs := make([]Coroutine, n)
+		for pid := range procs {
+			pid := pid
+			procs[pid] = CoroutineFunc(func(tr *Transport) (any, error) {
+				for r := 0; ; r++ {
+					// Process 1 blows the limit at round 4.
+					size := 8
+					if pid == 1 && r == 3 {
+						size = 100
+					}
+					if _, err := tr.SendAndReceive(size); err != nil {
+						return nil, err
+					}
+				}
+			})
+		}
+		_, err := Run(Config{
+			Schedule:  dynnet.NewStatic(dynnet.Cycle(n)),
+			MaxRounds: 100,
+			Scheduler: sched,
+			SizeOf:    func(m Message) int { return m.(int) },
+			BitLimit:  50,
+		}, procs)
+		var ble *BitLimitError
+		if !errors.As(err, &ble) {
+			t.Fatalf("%v: err=%v, want *BitLimitError", sched, err)
+		}
+		if want == nil {
+			want = ble
+			continue
+		}
+		if *ble != *want {
+			t.Errorf("BitLimitError differs: sequential %+v, concurrent %+v", want, ble)
+		}
+	}
+	if want.Round != 4 || want.Process != 1 || want.Bits != 100 {
+		t.Errorf("unexpected violation %+v", want)
+	}
+}
+
+// TestSchedulerEquivalencePreCancelled pins the cancellation contract both
+// schedulers share: a context cancelled before the run starts fails with
+// context.Canceled and zero rounds.
+func TestSchedulerEquivalencePreCancelled(t *testing.T) {
+	for _, sched := range schedulers {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		procs := []Coroutine{echoProc(3), echoProc(3)}
+		res, err := RunContext(ctx, Config{
+			Schedule:  dynnet.NewStatic(dynnet.Path(2)),
+			MaxRounds: 10,
+			Scheduler: sched,
+		}, procs)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err=%v, want context.Canceled", sched, err)
+		}
+		if res.Rounds != 0 || len(res.Outputs) != 0 {
+			t.Fatalf("%v: partial result %+v, want empty", sched, res)
+		}
+	}
+}
+
+// countStepper is a deterministic state machine: it broadcasts pid*100+step
+// for `rounds` steps, then outputs a checksum of everything received.
+type countStepper struct {
+	pid, rounds, step int
+	sum               int
+}
+
+func (c *countStepper) Compose() Message { return c.pid*100 + c.step }
+
+func (c *countStepper) Deliver(msgs []Message) {
+	for _, m := range msgs {
+		c.sum = c.sum*31 + m.(int)
+	}
+	c.step++
+}
+
+func (c *countStepper) Done() (any, bool) {
+	if c.step >= c.rounds {
+		return c.sum, true
+	}
+	return nil, false
+}
+
+// TestStepperPathsEquivalent runs the same stepper protocol on all three
+// execution paths — RunSteppers, and FromStepper on each coroutine
+// scheduler — and asserts identical results and traces.
+func TestStepperPathsEquivalent(t *testing.T) {
+	const n = 6
+	cfg := func(hook func(int, []Message), sched Scheduler) Config {
+		return Config{
+			Schedule:  dynnet.NewRandomConnected(n, 0.4, 3),
+			MaxRounds: 50,
+			Scheduler: sched,
+			SizeOf:    func(m Message) int { return m.(int)%13 + 3 },
+			Trace:     hook,
+		}
+	}
+	build := func() []Stepper {
+		st := make([]Stepper, n)
+		for pid := range st {
+			st[pid] = &countStepper{pid: pid, rounds: 4 + pid%3}
+		}
+		return st
+	}
+
+	log, hook := captureTrace()
+	want, err := RunSteppers(cfg(hook, SchedulerSequential), build())
+	if err != nil {
+		t.Fatalf("RunSteppers: %v", err)
+	}
+	wantTrace := *log
+
+	for _, sched := range schedulers {
+		log, hook := captureTrace()
+		steppers := build()
+		procs := make([]Coroutine, n)
+		for pid := range procs {
+			procs[pid] = FromStepper(steppers[pid])
+		}
+		got, err := Run(cfg(hook, sched), procs)
+		if err != nil {
+			t.Fatalf("FromStepper on %v: %v", sched, err)
+		}
+		assertSameRun(t, want, got, wantTrace, *log)
+	}
+}
+
+// TestRunSteppersCancellation checks the RunSteppers cancellation contract:
+// pre-cancelled contexts stop before round 1, and a cancellation mid-run is
+// observed at the next round boundary with the partial result preserved.
+func TestRunSteppersCancellation(t *testing.T) {
+	const n = 3
+	build := func(rounds int) []Stepper {
+		st := make([]Stepper, n)
+		for pid := range st {
+			st[pid] = &countStepper{pid: pid, rounds: rounds}
+		}
+		return st
+	}
+	cfg := Config{Schedule: dynnet.NewStatic(dynnet.Cycle(n)), MaxRounds: 1000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunSteppersContext(ctx, cfg, build(10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: err=%v, want context.Canceled", err)
+	}
+	if res.Rounds != 0 {
+		t.Fatalf("pre-cancelled: Rounds=%d, want 0", res.Rounds)
+	}
+
+	// Cancel from inside the Trace hook: the loop must finish the current
+	// round, then stop at the boundary.
+	ctx, cancel = context.WithCancel(context.Background())
+	stopAt := 5
+	cfg2 := cfg
+	cfg2.Trace = func(round int, sent []Message) {
+		if round == stopAt {
+			cancel()
+		}
+	}
+	res, err = RunSteppersContext(ctx, cfg2, build(1000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: err=%v, want context.Canceled", err)
+	}
+	if res.Rounds != stopAt {
+		t.Fatalf("mid-run: Rounds=%d, want %d", res.Rounds, stopAt)
+	}
+}

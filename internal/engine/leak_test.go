@@ -11,21 +11,21 @@ import (
 )
 
 // TestNoGoroutineLeaks verifies that Run waits for every process goroutine
-// before returning, under normal completion, early stop, and round-budget
-// cancellation alike.
+// before returning — under normal completion, early stop, and round-budget
+// cancellation alike, and on both schedulers.
 func TestNoGoroutineLeaks(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	runs := []struct {
 		name string
-		do   func() error
+		do   func(sched Scheduler) error
 	}{
-		{name: "normal", do: func() error {
-			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Cycle(4)), MaxRounds: 10},
+		{name: "normal", do: func(sched Scheduler) error {
+			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Cycle(4)), MaxRounds: 10, Scheduler: sched},
 				[]Coroutine{echoProc(3), echoProc(3), echoProc(3), echoProc(3)})
 			return err
 		}},
-		{name: "stop-when", do: func() error {
+		{name: "stop-when", do: func(sched Scheduler) error {
 			forever := CoroutineFunc(func(tr *Transport) (any, error) {
 				for {
 					if _, err := tr.SendAndReceive(nil); err != nil {
@@ -44,11 +44,12 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			_, err := Run(Config{
 				Schedule:  dynnet.NewStatic(dynnet.Path(3)),
 				MaxRounds: 100,
+				Scheduler: sched,
 				StopWhen:  func(out map[int]any) bool { _, ok := out[0]; return ok },
 			}, []Coroutine{twoRounds, forever, forever})
 			return err
 		}},
-		{name: "max-rounds", do: func() error {
+		{name: "max-rounds", do: func(sched Scheduler) error {
 			forever := CoroutineFunc(func(tr *Transport) (any, error) {
 				for {
 					if _, err := tr.SendAndReceive(nil); err != nil {
@@ -56,14 +57,14 @@ func TestNoGoroutineLeaks(t *testing.T) {
 					}
 				}
 			})
-			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Path(2)), MaxRounds: 3},
+			_, err := Run(Config{Schedule: dynnet.NewStatic(dynnet.Path(2)), MaxRounds: 3, Scheduler: sched},
 				[]Coroutine{forever, forever})
 			if err == nil {
 				return nil
 			}
 			return nil // ErrMaxRounds expected
 		}},
-		{name: "context-cancel-pre-cancelled", do: func() error {
+		{name: "context-cancel-pre-cancelled", do: func(sched Scheduler) error {
 			forever := CoroutineFunc(func(tr *Transport) (any, error) {
 				for {
 					if _, err := tr.SendAndReceive(nil); err != nil {
@@ -73,14 +74,14 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			})
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Path(3)), MaxRounds: 1 << 20},
+			_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Path(3)), MaxRounds: 1 << 20, Scheduler: sched},
 				[]Coroutine{forever, forever, forever})
 			if !errors.Is(err, context.Canceled) {
 				return err
 			}
 			return nil
 		}},
-		{name: "context-cancel-mid-round", do: func() error {
+		{name: "context-cancel-mid-round", do: func(sched Scheduler) error {
 			// One process stalls before submitting its round-4 message, so
 			// the coordinator is parked waiting for submissions when the
 			// cancellation lands — the cancel path must release both the
@@ -107,7 +108,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			done := make(chan error, 1)
 			go func() {
-				_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Cycle(3)), MaxRounds: 1 << 20},
+				_, err := RunContext(ctx, Config{Schedule: dynnet.NewStatic(dynnet.Cycle(3)), MaxRounds: 1 << 20, Scheduler: sched},
 					[]Coroutine{straggler, forever, forever})
 				done <- err
 			}()
@@ -121,10 +122,12 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			return nil
 		}},
 	}
-	for _, r := range runs {
-		for i := 0; i < 5; i++ {
-			if err := r.do(); err != nil {
-				t.Fatalf("%s: %v", r.name, err)
+	for _, sched := range schedulers {
+		for _, r := range runs {
+			for i := 0; i < 5; i++ {
+				if err := r.do(sched); err != nil {
+					t.Fatalf("%s under %v: %v", r.name, sched, err)
+				}
 			}
 		}
 	}

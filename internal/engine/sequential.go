@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// seqResume is the delivery half of a direct handoff: the process's round
+// inbox, or the stop signal.
+type seqResume struct {
+	msgs []Message
+	stop bool
+}
+
+// seqYield is a transfer of control back to the runner: the round's resume
+// chain completed (evSweep), or a process returned (evDone).
+type seqYield struct {
+	pid    int
+	output any   // valid when kind == evDone
+	err    error // valid when kind == evDone
+	kind   evKind
+}
+
+// seqRunner is the sequential direct-execution scheduler. Process
+// goroutines are parked on per-process resume channels; after routing a
+// round the runner resumes the first one, and each process — inside its
+// next SendAndReceive — hands control straight to the next undelivered
+// process, forming a resume chain that returns to the runner only when the
+// round's deliveries are exhausted. Exactly one goroutine is runnable at
+// any moment and each process costs a single handoff per round — no
+// central event loop, no selects, no stop-channel contention, no census
+// scans (alive/waiting are plain counters) — so the per-round cost is the
+// protocol's own work plus the shared routing.
+//
+// The strict control-transfer discipline is also the memory model: every
+// shared field (state, pending, out, cursor, counters) is only touched by
+// the currently running goroutine, and each channel handoff publishes the
+// writes to the next one.
+type seqRunner struct {
+	cfg     Config
+	ctx     context.Context
+	n       int
+	rt      *router
+	state   []procState
+	pending []Message
+	resume  []chan seqResume
+	yield   chan seqYield
+
+	// out and cursor drive the current round's resume chain: out holds the
+	// routed inboxes, cursor the next pid to consider. advance delivers to
+	// the next stateWaiting pid at or past cursor; re-submissions during
+	// the sweep land behind the cursor, so they are never redelivered.
+	out    [][]Message
+	cursor int
+
+	// alive counts processes that have not returned; it is maintained
+	// incrementally (no census scans).
+	alive int
+
+	// stopping is set by the runner before the unwind handoffs begin; the
+	// strict handoff alternation orders the write before any process reads
+	// it, so a non-conforming coroutine that keeps calling SendAndReceive
+	// after ErrStopped spins locally instead of deadlocking the unwind.
+	stopping bool
+
+	runErr error
+}
+
+// sendAndReceive is Transport.SendAndReceive under the sequential
+// scheduler: submit, hand control down the round's resume chain (waking
+// the runner if the chain is exhausted), and park until delivery.
+func (s *seqRunner) sendAndReceive(t *Transport, msg Message) ([]Message, error) {
+	if s.stopping {
+		return nil, ErrStopped
+	}
+	s.state[t.pid] = stateWaiting
+	s.pending[t.pid] = msg
+	if !s.advance() {
+		s.yield <- seqYield{kind: evSweep}
+	}
+	r := <-s.resume[t.pid]
+	if r.stop {
+		return nil, ErrStopped
+	}
+	t.round++
+	return r.msgs, nil
+}
+
+// advance resumes the next undelivered process of the current round's
+// chain and reports whether there was one. The caller transfers control
+// with the send and must park (or, for the runner, wait on yield)
+// immediately after.
+func (s *seqRunner) advance() bool {
+	for ; s.cursor < s.n; s.cursor++ {
+		pid := s.cursor
+		if s.state[pid] != stateWaiting {
+			continue
+		}
+		s.state[pid] = stateRunning
+		s.cursor++
+		s.resume[pid] <- seqResume{msgs: s.out[pid]}
+		return true
+	}
+	return false
+}
+
+func (s *seqRunner) run(procs []Coroutine) (*Result, error) {
+	res := &Result{Outputs: make(map[int]any)}
+	if err := s.ctx.Err(); err != nil {
+		// Pre-cancelled: never start a process goroutine.
+		return res, fmt.Errorf("engine: run cancelled: %w", context.Cause(s.ctx))
+	}
+
+	// Start phase: run every process to its first submission (or return).
+	// The chain is empty (no round routed yet), so each first submission
+	// yields evSweep straight back to the runner.
+	for pid := range procs {
+		if s.runErr != nil {
+			break
+		}
+		s.state[pid] = stateRunning
+		s.alive++
+		tr := &Transport{pid: pid, seq: s}
+		proc := procs[pid]
+		go func(pid int) {
+			out, err := proc.Run(tr)
+			s.yield <- seqYield{pid: pid, kind: evDone, output: out, err: err}
+		}(pid)
+		if s.await(res) == awaitStop {
+			break
+		}
+	}
+
+	// Round loop: every live process is parked with a submission, so the
+	// barrier holds by construction — route, start the resume chain, and
+	// regain control once the chain has delivered to every participant.
+	for s.runErr == nil && s.alive > 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(s.ctx))
+			break
+		}
+		out, err := s.rt.route(s.state, s.pending, res)
+		if err != nil {
+			s.runErr = err
+			break
+		}
+		if s.cfg.StopWhen != nil && s.cfg.StopWhen(res.Outputs) {
+			break
+		}
+		if s.rt.round >= s.cfg.MaxRounds {
+			s.runErr = ErrMaxRounds
+			break
+		}
+		s.out, s.cursor = out, 0
+		if !s.advance() {
+			continue
+		}
+		// Chain running; control returns via evSweep (chain completed in a
+		// process) or evDone (a process returned; the runner relinks the
+		// chain itself, and owns control when it finds the chain finished).
+		ar := s.await(res)
+		for ar == awaitContinue {
+			ar = s.await(res)
+		}
+		if ar == awaitStop {
+			break
+		}
+	}
+
+	s.unwind(res)
+	res.Rounds = s.rt.round
+	return res, s.runErr
+}
+
+// awaitResult tells the runner's round loop what to do after one yield.
+type awaitResult int
+
+const (
+	// awaitContinue: chain still running, park on yield again.
+	awaitContinue awaitResult = iota
+	// awaitRound: the round's chain is complete, go route the next round.
+	awaitRound
+	// awaitStop: stop condition or error; leave the round loop.
+	awaitStop
+)
+
+// await blocks until control returns to the runner, updates counters and
+// outputs for process completions, and classifies what happened.
+func (s *seqRunner) await(res *Result) awaitResult {
+	y := <-s.yield
+	switch y.kind {
+	case evSweep:
+		return awaitRound
+	case evDone:
+		s.state[y.pid] = stateDone
+		s.alive--
+		if y.err != nil && !errors.Is(y.err, ErrStopped) {
+			s.runErr = fmt.Errorf("engine: process %d: %w", y.pid, y.err)
+			return awaitStop
+		}
+		if y.err == nil {
+			res.Outputs[y.pid] = y.output
+		}
+		if s.cfg.StopWhen != nil && s.cfg.StopWhen(res.Outputs) {
+			return awaitStop
+		}
+		// The chain ended at this process; the runner relinks it. If
+		// nothing is left to deliver the runner owns control and the
+		// round is complete.
+		if !s.advance() {
+			return awaitRound
+		}
+		return awaitContinue
+	default:
+		panic(fmt.Sprintf("engine: unexpected yield kind %d", y.kind))
+	}
+}
+
+// unwind releases every parked process with a stop handoff and waits for
+// its goroutine to return; coroutines must return promptly on ErrStopped.
+// Outputs produced during the unwind (a process that completed rather than
+// propagate ErrStopped) are still collected, mirroring the concurrent
+// coordinator's shutdown drain.
+func (s *seqRunner) unwind(res *Result) {
+	s.stopping = true
+	for pid := range s.state {
+		if s.state[pid] != stateWaiting {
+			continue
+		}
+		s.state[pid] = stateDone
+		s.alive--
+		s.resume[pid] <- seqResume{stop: true}
+		y := <-s.yield
+		if y.kind == evDone && y.err == nil {
+			res.Outputs[y.pid] = y.output
+		}
+	}
+}

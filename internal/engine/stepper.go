@@ -1,17 +1,28 @@
 package engine
 
+import (
+	"context"
+	"fmt"
+)
+
 // Stepper is the event-driven alternative to Coroutine: a process expressed
 // as an explicit state machine. The engine calls Compose to obtain the
 // message for the current round, delivers the round's received multiset via
 // Deliver, and stops the process once Done reports an output.
 //
 // Steppers are convenient for simple protocols (the baselines in
-// internal/baseline) and are executed by wrapping them in a Coroutine via
-// FromStepper, so both styles run on the same barrier engine.
+// internal/baseline). They run fastest on RunSteppers — a plain
+// function-call round loop with zero synchronization — and can also be
+// wrapped into a Coroutine via FromStepper to run on either coroutine
+// scheduler; all paths share the routing core, so the results are
+// identical.
 type Stepper interface {
 	// Compose returns the message to broadcast in the current round.
 	Compose() Message
-	// Deliver hands over the multiset of messages received this round.
+	// Deliver hands over the multiset of messages received this round. The
+	// slice is only valid until the next round's delivery (the engine
+	// round-robins the backing storage); implementations that retain
+	// messages across rounds must copy them.
 	Deliver(msgs []Message)
 	// Done reports whether the process has terminated, and if so its output.
 	Done() (output any, done bool)
@@ -32,4 +43,90 @@ func FromStepper(s Stepper) Coroutine {
 			s.Deliver(msgs)
 		}
 	})
+}
+
+// RunSteppers executes one Stepper per process in a direct function-call
+// round loop: Done → Compose → route → Deliver, with zero synchronization
+// — no goroutines, channels, or selects anywhere on the path. It is the
+// fastest way to run state-machine protocols; the round semantics
+// (barriers, delivery order, accounting, StopWhen, MaxRounds, BitLimit,
+// Trace) are identical to running FromStepper(s) on either coroutine
+// scheduler. Config.Scheduler is ignored.
+func RunSteppers(cfg Config, steppers []Stepper) (*Result, error) {
+	return RunSteppersContext(context.Background(), cfg, steppers)
+}
+
+// RunSteppersContext is RunSteppers with external cancellation, observed at
+// round boundaries: when ctx is cancelled the loop stops before the next
+// round and returns the partial Result alongside an error wrapping ctx's
+// cause.
+func RunSteppersContext(ctx context.Context, cfg Config, steppers []Stepper) (*Result, error) {
+	n, err := cfg.validate(len(steppers))
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	rt := newRouter(&cfg, n)
+	state := make([]procState, n)
+	pending := make([]Message, n)
+	res := &Result{Outputs: make(map[int]any)}
+	alive := n
+	for pid := range steppers {
+		state[pid] = stateRunning
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Rounds = rt.round
+			return res, fmt.Errorf("engine: run cancelled: %w", context.Cause(ctx))
+		}
+		// Done is checked before every round (the FromStepper contract), so
+		// a stepper that is done immediately never communicates.
+		for pid, st := range steppers {
+			if state[pid] == stateDone {
+				continue
+			}
+			if out, done := st.Done(); done {
+				state[pid] = stateDone
+				alive--
+				res.Outputs[pid] = out
+				if cfg.StopWhen != nil && cfg.StopWhen(res.Outputs) {
+					res.Rounds = rt.round
+					return res, nil
+				}
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		for pid, st := range steppers {
+			if state[pid] != stateDone {
+				state[pid] = stateWaiting
+				pending[pid] = st.Compose()
+			}
+		}
+		out, err := rt.route(state, pending, res)
+		if err != nil {
+			res.Rounds = rt.round
+			return res, err
+		}
+		for pid, st := range steppers {
+			if state[pid] == stateWaiting {
+				state[pid] = stateRunning
+				st.Deliver(out[pid])
+			}
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(res.Outputs) {
+			break
+		}
+		if rt.round >= cfg.MaxRounds {
+			res.Rounds = rt.round
+			return res, ErrMaxRounds
+		}
+	}
+	res.Rounds = rt.round
+	return res, nil
 }

@@ -87,7 +87,7 @@ func refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[in
 	for p := 0; p < n; p++ {
 		obs[p] = make(map[int]int)
 	}
-	for _, l := range g.Links() {
+	for _, l := range g.CanonicalLinks() {
 		if l.U == l.V {
 			obs[l.U][cur[l.U].ID] += l.Mult
 			continue

@@ -68,6 +68,12 @@ type JobSpec struct {
 	Eager bool `json:"eager,omitempty"`
 	// MaxRounds caps the run; 0 derives the default O(T·n³ log n) budget.
 	MaxRounds int `json:"maxRounds,omitempty"`
+	// Scheduler selects the engine execution strategy: "" or "sequential"
+	// for the direct-execution default, "concurrent" for the parallel
+	// coordinator. Both produce identical results (the spec hash treats
+	// them as the same simulation), so this is a performance/debugging
+	// knob, not a semantic one.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // Normalize fills defaulted fields in place so that equivalent specs hash
@@ -87,6 +93,9 @@ func (s *JobSpec) Normalize() {
 	}
 	if len(s.Inputs) == 0 {
 		s.Inputs = nil
+	}
+	if s.Scheduler == "sequential" {
+		s.Scheduler = "" // the default, spelled out
 	}
 }
 
@@ -120,6 +129,9 @@ func (s JobSpec) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("maxRounds must be non-negative, got %d", s.MaxRounds)
 	}
+	if s.Scheduler != "" && s.Scheduler != "concurrent" {
+		return fmt.Errorf("unknown scheduler %q (have sequential, concurrent)", s.Scheduler)
+	}
 	if len(s.Inputs) > 0 && len(s.Inputs) != s.N {
 		return fmt.Errorf("%d input values for %d processes", len(s.Inputs), s.N)
 	}
@@ -149,6 +161,9 @@ func (s JobSpec) Validate() error {
 // result-cache key.
 func (s JobSpec) Hash() string {
 	s.Normalize()
+	// Both schedulers produce identical results (the engine's equivalence
+	// contract), so the choice must not fragment the result cache.
+	s.Scheduler = ""
 	// encoding/json marshals struct fields in declaration order, which is
 	// stable; inputs are a slice, also stable. A round-trip through a map
 	// would lose that, so marshal the struct directly.
@@ -240,6 +255,9 @@ func (s JobSpec) Run(ctx context.Context, traceHook func(round int, sent []engin
 		MaxRounds: s.MaxRounds,
 		BitLimit:  s.BitLimit,
 		Trace:     traceHook,
+	}
+	if s.Scheduler == "concurrent" {
+		opts.Scheduler = engine.SchedulerConcurrent
 	}
 	if s.Topology == "isolator" {
 		return core.RunAdaptive(adversary.NewIsolator(s.N, 0), s.inputs(), s.config(), opts)
