@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchsmoke benchcmp gobench
+.PHONY: check vet build test race bench benchsmoke benchcmp gobench profile
 
 # The tier-1 gate plus the race detector and a bench compile smoke — run
 # before every commit.
@@ -23,17 +23,27 @@ race:
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Run the benchmark-regression suite and record BENCH_PR3.json (see
+# Run the benchmark-regression suite and record BENCH_PR4.json (see
 # EXPERIMENTS.md, "Perf appendix").
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR4.json
 
 # Compare two BENCH_*.json reports; fails on >20% ns/op regression.
-# Usage: make benchcmp BASE=BENCH_PR2.json [NEW=BENCH_PR3.json]
-BASE ?= BENCH_PR2.json
-NEW ?= BENCH_PR3.json
+# Usage: make benchcmp BASE=BENCH_PR3.json [NEW=BENCH_PR4.json]
+BASE ?= BENCH_PR3.json
+NEW ?= BENCH_PR4.json
 benchcmp:
 	$(GO) run ./cmd/benchreport -compare -old $(BASE) -new $(NEW)
+
+# Capture CPU + allocation pprof profiles of one suite entry (default:
+# the E2 counting run, the repo's end-to-end hot path). See README
+# "Profiling" for how to read the artifacts.
+# Usage: make profile [BENCH=E2Count] [PROFDIR=profiles]
+BENCH ?= E2Count
+PROFDIR ?= profiles
+profile:
+	$(GO) run ./cmd/benchreport -bench '$(BENCH)' \
+		-cpuprofile $(PROFDIR)/cpu.pprof -memprofile $(PROFDIR)/mem.pprof
 
 # The raw testing.B entries (one per reproduction experiment).
 gobench:

@@ -9,6 +9,11 @@
 // benchmark (the `make benchcmp` target):
 //
 //	benchreport -compare -old BENCH_PR1.json -new BENCH_PR2.json
+//
+// Capture CPU and allocation profiles of one suite entry (the
+// `make profile` target); inspect with `go tool pprof`:
+//
+//	benchreport -bench E2Count -cpuprofile profiles/cpu.pprof -memprofile profiles/mem.pprof
 package main
 
 import (
@@ -21,11 +26,14 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "write the suite's measurements to this file (JSON)")
-		compare   = flag.Bool("compare", false, "compare two reports instead of running the suite")
-		oldPath   = flag.String("old", "", "baseline report for -compare")
-		newPath   = flag.String("new", "", "candidate report for -compare")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed ns/op growth before -compare fails (0.20 = +20%)")
+		out        = flag.String("out", "", "write the suite's measurements to this file (JSON)")
+		compare    = flag.Bool("compare", false, "compare two reports instead of running the suite")
+		oldPath    = flag.String("old", "", "baseline report for -compare")
+		newPath    = flag.String("new", "", "candidate report for -compare")
+		tolerance  = flag.Float64("tolerance", 0.20, "allowed ns/op growth before -compare fails (0.20 = +20%)")
+		benchMatch = flag.String("bench", "", "run only suite entries whose name contains this substring")
+		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a runtime/pprof allocation profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -36,16 +44,22 @@ func main() {
 		}
 		return
 	}
-	if err := runSuite(*out); err != nil {
+	opts := bench.SuiteOptions{
+		Filter:     *benchMatch,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+	}
+	if err := runSuite(opts, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func runSuite(out string) error {
-	report, err := bench.RunPerfSuite(func(name string) {
+func runSuite(opts bench.SuiteOptions, out string) error {
+	opts.Progress = func(name string) {
 		fmt.Printf("running %s ...\n", name)
-	})
+	}
+	report, err := bench.RunPerfSuiteOpts(opts)
 	if err != nil {
 		return err
 	}
@@ -57,6 +71,13 @@ func runSuite(out string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(report))
+	}
+	if opts.CPUProfile != "" {
+		fmt.Printf("wrote CPU profile %s (inspect: go tool pprof -top %s)\n", opts.CPUProfile, opts.CPUProfile)
+	}
+	if opts.MemProfile != "" {
+		fmt.Printf("wrote allocation profile %s (inspect: go tool pprof -sample_index=alloc_space -top %s)\n",
+			opts.MemProfile, opts.MemProfile)
 	}
 	return nil
 }

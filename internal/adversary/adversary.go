@@ -46,7 +46,7 @@ func (a *Isolator) Graph(_ int, sent []engine.Message) *dynnet.Multigraph {
 	top := -1
 	var topMsg wire.Message
 	for pid, raw := range sent {
-		m, ok := raw.(wire.Message)
+		m, ok := wire.FromBox(raw)
 		if !ok {
 			continue
 		}
@@ -63,7 +63,7 @@ func (a *Isolator) Graph(_ int, sent []engine.Message) *dynnet.Multigraph {
 		if pid == a.target {
 			continue
 		}
-		m, ok := raw.(wire.Message)
+		m, ok := wire.FromBox(raw)
 		if ok && top >= 0 && core.Compare(m, topMsg) == 0 {
 			holders = append(holders, pid)
 			continue

@@ -24,6 +24,7 @@ import (
 	"anondyn/internal/dynnet"
 	"anondyn/internal/engine"
 	"anondyn/internal/historytree"
+	"anondyn/internal/ints"
 )
 
 // classInfo describes one hash-consed history-tree class: its level, its
@@ -47,9 +48,10 @@ type redRef struct {
 // "merge equivalent view nodes" step of the full-information protocol —
 // realized here without string-encoding entire subtrees into every message.
 type interner struct {
-	mu    sync.Mutex
-	byKey map[string]int
-	infos []classInfo
+	mu     sync.Mutex
+	byKey  map[string]int
+	infos  []classInfo
+	keyBuf []byte // mu-guarded key-rendering scratch
 }
 
 func newInterner() *interner {
@@ -59,15 +61,35 @@ func newInterner() *interner {
 // intern returns the class ID for the given description, registering it if
 // new. The reds slice must be in canonical (sorted by src) order.
 func (in *interner) intern(ci classInfo) int {
-	key := fmt.Sprintf("%d|%d|%v|%v", ci.level, ci.parent, ci.reds, ci.input)
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if id, ok := in.byKey[key]; ok {
+	// The key is an injective byte rendering of the classInfo ('|' and '*'
+	// never occur inside a decimal field), built in a lock-guarded scratch
+	// buffer: lookups of known classes — the common case once a run's
+	// class universe stabilizes — then allocate nothing, where the former
+	// fmt.Sprintf key paid several allocations per call.
+	buf := in.keyBuf[:0]
+	buf = ints.AppendInt(buf, ci.level)
+	buf = append(buf, '|')
+	buf = ints.AppendInt(buf, ci.parent)
+	for _, r := range ci.reds {
+		buf = append(buf, '|')
+		buf = ints.AppendInt(buf, r.src)
+		buf = append(buf, '*')
+		buf = ints.AppendInt(buf, r.mult)
+	}
+	buf = append(buf, '|')
+	if ci.input.Leader {
+		buf = append(buf, 'L')
+	}
+	buf = ints.AppendInt(buf, int(ci.input.Value))
+	in.keyBuf = buf
+	if id, ok := in.byKey[string(buf)]; ok {
 		return id
 	}
 	id := len(in.infos)
 	in.infos = append(in.infos, ci)
-	in.byKey[key] = id
+	in.byKey[string(buf)] = id
 	return id
 }
 
@@ -296,11 +318,7 @@ func treeFromView(itn *interner, v *view) (*historytree.Tree, int, error) {
 // varints for its level, parent reference, red edges and input. This is the
 // honest cost a congested network would have to pay to ship the view.
 func sizeOfView(itn *interner, v *view) int {
-	ids := make([]int, 0, len(v.classes))
-	for id := range v.classes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	ids := ints.SortedKeys(v.classes)
 	index := make(map[int]int, len(ids))
 	for i, id := range ids {
 		index[id] = i

@@ -29,6 +29,9 @@ func PerfSuite() []NamedBench {
 		{Name: "SolverFromScratch/n=16", Bench: solverBench(16, false)},
 		{Name: "SolverIncremental/n=16", Bench: solverBench(16, true)},
 		{Name: "E2Count/n=12", Bench: e2Bench(12, false)},
+		// The n=24 point records how the history-tree/VHT layer scales,
+		// not just the E2 sweep's largest published point.
+		{Name: "E2Count/n=24", Bench: e2Bench(24, false)},
 		{Name: "E2SolverReplayFromScratch/n=12", Bench: e2SolverReplayBench(12, false)},
 		{Name: "E2SolverReplayIncremental/n=12", Bench: e2SolverReplayBench(12, true)},
 		{Name: "E4RedEdges/n=10", Bench: e4Bench(10)},
@@ -42,9 +45,14 @@ func PerfSuite() []NamedBench {
 
 // RunPerfSuite executes the suite via testing.Benchmark and collects the
 // measurements. progress, if non-nil, is called before each entry.
+// RunPerfSuiteOpts is the filtered/profiled variant.
 func RunPerfSuite(progress func(name string)) (PerfReport, error) {
+	return runEntries(PerfSuite(), progress)
+}
+
+func runEntries(suite []NamedBench, progress func(name string)) (PerfReport, error) {
 	report := make(PerfReport)
-	for _, nb := range PerfSuite() {
+	for _, nb := range suite {
 		if progress != nil {
 			progress(nb.Name)
 		}

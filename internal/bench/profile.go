@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// SuiteOptions selects and instruments a benchmark-regression run. The zero
+// value runs the whole suite with no profiling, matching RunPerfSuite.
+type SuiteOptions struct {
+	// Filter keeps only the suite entries whose name contains the given
+	// substring (e.g. "E2Count" or "Solver"). Empty keeps everything.
+	Filter string
+	// CPUProfile, when non-empty, wraps the whole run in a runtime/pprof
+	// CPU capture and writes the profile to this path. Parent directories
+	// are created as needed.
+	CPUProfile string
+	// MemProfile, when non-empty, writes an allocation profile to this
+	// path after the run (preceded by a GC so the numbers reflect live
+	// and cumulative allocation honestly).
+	MemProfile string
+	// Progress, if non-nil, is called with each entry's name before it
+	// runs.
+	Progress func(name string)
+}
+
+// RunPerfSuiteOpts executes the benchmark-regression suite subject to the
+// options: filtered to matching entries and, when requested, under CPU
+// and/or heap profiling. It is the engine behind `make bench` (no
+// profiling) and `make profile` (CPU+heap capture of one entry), so every
+// perf investigation starts from a pprof flame graph of exactly the code
+// the regression suite measures.
+func RunPerfSuiteOpts(opts SuiteOptions) (PerfReport, error) {
+	suite := PerfSuite()
+	if opts.Filter != "" {
+		kept := suite[:0]
+		for _, nb := range suite {
+			if strings.Contains(nb.Name, opts.Filter) {
+				kept = append(kept, nb)
+			}
+		}
+		suite = kept
+		if len(suite) == 0 {
+			return nil, fmt.Errorf("bench: no suite entry matches %q", opts.Filter)
+		}
+	}
+
+	if opts.CPUProfile != "" {
+		f, err := createProfileFile(opts.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("bench: start CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	report, err := runEntries(suite, opts.Progress)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.MemProfile != "" {
+		f, ferr := createProfileFile(opts.MemProfile)
+		if ferr != nil {
+			return nil, ferr
+		}
+		runtime.GC()
+		if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+			f.Close()
+			return nil, fmt.Errorf("bench: write heap profile: %w", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return report, nil
+}
+
+func createProfileFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("bench: create profile dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: create profile file: %w", err)
+	}
+	return f, nil
+}

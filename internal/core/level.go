@@ -31,35 +31,31 @@ func (p *Process) setUpNewLevel() (restart bool, err error) {
 	// messages received in the appropriate begin round, each process is
 	// also able to reconstruct its local ObsList", Section 5). Identical
 	// Begins group into (ID, multiplicity) pairs; our own ID is discarded
-	// and replaced by the cycle pair (MyID, 2).
-	counts := make(map[int]int, len(msgs))
-	for _, m := range msgs {
-		if m.Label == wire.LabelBegin {
-			counts[int(m.A)]++
-		}
-	}
+	// and replaced by the cycle pair (MyID, 2). The messages are sorted, so
+	// equal Begins form contiguous runs and run-length encoding replaces
+	// the seed's per-round counting map: pairs still come out in ascending
+	// ID order, exactly as before.
 	p.obsList = p.obsList[:0]
-	for _, m := range msgs {
-		if m.Label != wire.LabelBegin {
+	for i := 0; i < len(msgs); {
+		if msgs[i].Label != wire.LabelBegin {
+			i++
 			continue
 		}
-		id := int(m.A)
-		if c, ok := counts[id]; ok && id != p.myID {
+		id := int(msgs[i].A)
+		c := 1
+		for i+c < len(msgs) && msgs[i+c].Label == wire.LabelBegin && int(msgs[i+c].A) == id {
+			c++
+		}
+		if id != p.myID {
 			p.obsList = append(p.obsList, obs{id2: id, mult: c})
 		}
-		delete(counts, id)
+		i += c
 	}
 	p.obsList = append(p.obsList, obs{id2: p.myID, mult: 2})
 	snap.obsList = append([]obs(nil), p.obsList...)
 	p.snapshots[p.currentLevel] = snap
 
-	prev := p.vht.Level(p.currentLevel - 1)
-	ids := make([]int, len(prev))
-	for i, v := range prev {
-		ids[i] = v.ID
-	}
-	p.temp = newTempVHT(ids)
-	p.lg = newLevelGraph(ids)
+	p.resetLevelState(p.currentLevel)
 
 	// React to foreign messages last: a process in an error or reset phase
 	// may have injected one; respond to the highest-priority intruder.
@@ -222,16 +218,21 @@ func (p *Process) updateVHT(id int) error {
 	if err != nil {
 		return err
 	}
-	reds, err := p.temp.pathRedEdges(id)
+	// The path's red edges come back merged and sorted by source ID in a
+	// reused scratch slice, replacing the seed's per-call map plus
+	// insertion-sorted key slice; AddRed order (ascending source) is
+	// unchanged.
+	reds, err := p.temp.appendPathRedEdges(id, p.redScratch[:0])
+	p.redScratch = reds[:0]
 	if err != nil {
 		return err
 	}
-	for _, src := range sortedIntKeys(reds) {
-		srcNode := p.vht.NodeByID(src)
+	for _, o := range reds {
+		srcNode := p.vht.NodeByID(o.id2)
 		if srcNode == nil {
-			return fmt.Errorf("core: red edge source %d missing from VHT", src)
+			return fmt.Errorf("core: red edge source %d missing from VHT", o.id2)
 		}
-		if err := p.vht.AddRed(child, srcNode, reds[src]); err != nil {
+		if err := p.vht.AddRed(child, srcNode, o.mult); err != nil {
 			return err
 		}
 	}
@@ -258,15 +259,17 @@ func (p *Process) recordPrimary() bool {
 	return p.input.Leader
 }
 
-func sortedIntKeys(m map[int]int) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// resetLevelState (re)initializes the temporary VHT and level graph on the
+// node IDs of level-1 below `level`, reusing the process-owned scratch
+// structures across levels and resets.
+func (p *Process) resetLevelState(level int) {
+	prev := p.vht.Level(level - 1)
+	p.idsScratch = p.idsScratch[:0]
+	for _, v := range prev {
+		p.idsScratch = append(p.idsScratch, v.ID)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
+	p.tempScratch.reset(p.idsScratch)
+	p.lgScratch.reset(p.idsScratch)
+	p.temp = &p.tempScratch
+	p.lg = &p.lgScratch
 }

@@ -11,24 +11,22 @@ import (
 // received. Receiving a Halt message immediately switches the process into
 // the termination forwarding of Section 5.
 func (p *Process) broadcastStep(m wire.Message) (wire.Message, error) {
-	msgs, err := p.sendAndReceive(m)
+	top, err := p.broadcastStepPtr(p.boxFor(m))
+	return *top, err
+}
+
+// broadcastStepPtr is broadcastStep threading immutable heap boxes instead
+// of message values: the multi-round loops below feed each round's result
+// pointer straight back in, so a steady-state round moves no 48-byte
+// structs and compares boxes by identity (see receiveTopPtr). On error the
+// input box is returned, mirroring the value form.
+func (p *Process) broadcastStepPtr(mp *wire.Message) (*wire.Message, error) {
+	top, err := p.receiveTopPtr(mp)
 	if err != nil {
-		return m, err
+		return mp, err
 	}
-	top := m
-	for _, r := range msgs {
-		// In steady-state broadcast every neighbor relays the message we
-		// already hold; an equal message can never be strictly higher, so
-		// one struct comparison skips the full priority comparison.
-		if r == top {
-			continue
-		}
-		if Higher(r, top) {
-			top = r
-		}
-	}
-	if top.Label == wire.LabelHalt && m.Label != wire.LabelHalt {
-		return top, p.haltForward(top)
+	if top.Label == wire.LabelHalt && mp.Label != wire.LabelHalt {
+		return top, p.haltForward(*top)
 	}
 	return top, nil
 }
@@ -37,14 +35,15 @@ func (p *Process) broadcastStep(m wire.Message) (wire.Message, error) {
 // broadcast steps, then dispatch on the surviving message. Error and Reset
 // results are handled and reported as restart=true.
 func (p *Process) broadcastPhase(m wire.Message) (wire.Message, bool, error) {
-	top := m
+	mp := p.boxFor(m)
 	for i := 0; i < p.diamEstimate; i++ {
 		var err error
-		top, err = p.broadcastStep(top)
+		mp, err = p.broadcastStepPtr(mp)
 		if err != nil {
-			return top, false, err
+			return *mp, false, err
 		}
 	}
+	top := *mp
 	switch top.Label {
 	case wire.LabelError:
 		if err := p.handleError(top); err != nil {
@@ -112,15 +111,15 @@ func (p *Process) leaderReset(target int) error {
 // message arrives, then join that reset. The target is a level in the basic
 // algorithm and a journal index under fine-grained resets.
 func (p *Process) broadcastError(target int) error {
-	m := wire.Error(int64(target))
-	for m.Label != wire.LabelReset {
+	mp := p.boxFor(wire.Error(int64(target)))
+	for mp.Label != wire.LabelReset {
 		var err error
-		m, err = p.broadcastStep(m)
+		mp, err = p.broadcastStepPtr(mp)
 		if err != nil {
 			return err
 		}
 	}
-	return p.broadcastReset(m)
+	return p.broadcastReset(*mp)
 }
 
 // broadcastReset is BroadcastReset (Listing 6 lines 29–41): forward the
@@ -128,10 +127,10 @@ func (p *Process) broadcastError(target int) error {
 // perform the rollback.
 func (p *Process) broadcastReset(m wire.Message) error {
 	final := int(m.B + m.C)
-	top := m
+	mp := p.boxFor(m)
 	for p.tr.Round() < final {
 		var err error
-		top, err = p.broadcastStep(top)
+		mp, err = p.broadcastStepPtr(mp)
 		if err != nil {
 			return err
 		}
@@ -220,13 +219,7 @@ func (p *Process) performFineReset(index, newDiam int) error {
 	p.temp = nil
 	p.lg = nil
 	if !(p.cfg.buildsInputLevel() && level == 0) {
-		prev := p.vht.Level(level - 1)
-		ids := make([]int, len(prev))
-		for i, v := range prev {
-			ids[i] = v.ID
-		}
-		p.temp = newTempVHT(ids)
-		p.lg = newLevelGraph(ids)
+		p.resetLevelState(level)
 	}
 	for _, e := range p.journal[snap.journalLen:] {
 		if e.level != level {

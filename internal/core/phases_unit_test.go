@@ -26,7 +26,7 @@ func newFakeTransport(t *testing.T, replies ...[]wire.Message) *fakeTransport {
 }
 
 func (f *fakeTransport) SendAndReceive(m engine.Message) ([]engine.Message, error) {
-	wm, ok := m.(wire.Message)
+	wm, ok := wire.FromBox(m)
 	if !ok {
 		f.t.Fatalf("fake transport got %T", m)
 	}

@@ -22,15 +22,29 @@ type Process struct {
 	rec   *Recorder
 
 	tr transport
+	// trEng is tr's concrete value when it is a plain *engine.Transport
+	// (every run without the block simulation): the broadcast hot path
+	// calls it directly, saving an interface dispatch per round per
+	// process. nil under blockTransport, which falls back to tr.
+	trEng *engine.Transport
 
 	// rxBuf is the wire-message conversion scratch of sendAndReceive,
-	// reused across rounds (see the validity-window note there).
+	// reused across rounds (see the validity-window note there); rxRaw is
+	// the engine's last raw delivery slice, retained so boxFor can recycle
+	// the received heap boxes at the next send (read strictly before the
+	// next SendAndReceive, inside the engine's validity window).
 	rxBuf []wire.Message
-	// txLast / txBoxed cache the last sent message and its interface box,
-	// so re-broadcasting an unchanged message does not re-allocate (see
-	// sendAndReceive).
-	txLast  wire.Message
-	txBoxed engine.Message
+	rxRaw []engine.Message
+	// txLast / txBoxed cache the last sent message and its heap box, so
+	// re-broadcasting an unchanged message does not re-allocate (see
+	// sendAndReceive); txCache is a small ring of recently created boxes
+	// behind them, covering re-originated proposals across phases. Every
+	// box is immutable once published (see boxFor), which is what lets
+	// the broadcast loop thread bare pointers between rounds.
+	txLast      wire.Message
+	txBoxed     *wire.Message
+	txCache     [4]txBox
+	txCacheNext int
 
 	// Internal variables (Listing 1).
 	myID         int
@@ -42,6 +56,16 @@ type Process struct {
 	lg           *levelGraph
 	obsList      []obs
 	diamEstimate int
+
+	// Per-level scratch reused across constructLevel iterations and resets
+	// (see resetLevelState): temp/lg always point at tempScratch/lgScratch
+	// when set; idsScratch carries the previous level's node IDs; redScratch
+	// backs appendPathRedEdges in updateVHT. All are valid only within the
+	// level that filled them.
+	tempScratch tempVHT
+	lgScratch   levelGraph
+	idsScratch  []int
+	redScratch  []obs
 
 	// claimed reports whether this process's input claim was accepted while
 	// constructing level 0 (Generalized Counting / leaderless modes).
@@ -93,6 +117,12 @@ type pendingOutput struct {
 type obs struct {
 	id2  int
 	mult int
+}
+
+// txBox is one entry of the boxed-message ring cache (see boxFor).
+type txBox struct {
+	m   wire.Message
+	box *wire.Message
 }
 
 type snapshot struct {
@@ -152,6 +182,7 @@ func (p *Process) run(tr transport) (any, error) {
 		tr = &blockTransport{inner: tr, t: t}
 	}
 	p.tr = tr
+	p.trEng, _ = tr.(*engine.Transport)
 	p.initialize()
 	if p.cfg.Mode == ModeLeaderless {
 		return p.mainLoopLeaderless()

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // tempNode is a node of the temporary VHT (Listing 4 lines 14–17 and
 // Listing 5). Roots are copies of the previous VHT level's nodes; non-root
@@ -14,18 +17,57 @@ type tempNode struct {
 }
 
 // tempVHT is the forest of temporary nodes used while a level is under
-// construction ("TempVHT" in the pseudocode).
+// construction ("TempVHT" in the pseudocode). Nodes are carved from
+// fixed-capacity chunks owned by the forest; reset rewinds the chunks and
+// reuses them, so a Process pays for temp nodes only until the arena
+// reaches its high-water mark (see DESIGN.md decision 9 on validity
+// windows: a *tempNode is valid only until the next reset of its forest).
 type tempVHT struct {
 	nodes map[int]*tempNode
+	arena [][]tempNode
+	cur   int // arena chunk currently being carved from
 }
+
+const tempChunkSize = 32
 
 // newTempVHT returns a forest whose roots are the given previous-level IDs.
 func newTempVHT(rootIDs []int) *tempVHT {
-	tv := &tempVHT{nodes: make(map[int]*tempNode, len(rootIDs))}
-	for _, id := range rootIDs {
-		tv.nodes[id] = &tempNode{id: id}
-	}
+	tv := &tempVHT{}
+	tv.reset(rootIDs)
 	return tv
+}
+
+// reset rewinds the forest to an edgeless one whose roots are the given
+// IDs, keeping the node arena for reuse. All previously returned *tempNode
+// pointers are invalidated.
+func (tv *tempVHT) reset(rootIDs []int) {
+	if tv.nodes == nil {
+		tv.nodes = make(map[int]*tempNode, len(rootIDs))
+	} else {
+		clear(tv.nodes)
+	}
+	for i := range tv.arena {
+		tv.arena[i] = tv.arena[i][:0]
+	}
+	tv.cur = 0
+	for _, id := range rootIDs {
+		n := tv.newNode()
+		n.id = id
+		tv.nodes[id] = n
+	}
+}
+
+// newNode carves one zeroed node from the arena.
+func (tv *tempVHT) newNode() *tempNode {
+	for tv.cur < len(tv.arena) && len(tv.arena[tv.cur]) == cap(tv.arena[tv.cur]) {
+		tv.cur++
+	}
+	if tv.cur == len(tv.arena) {
+		tv.arena = append(tv.arena, make([]tempNode, 0, tempChunkSize))
+	}
+	chunk := &tv.arena[tv.cur]
+	*chunk = append(*chunk, tempNode{})
+	return &(*chunk)[len(*chunk)-1]
 }
 
 // node returns the node with the given ID, or nil.
@@ -54,26 +96,45 @@ func (tv *tempVHT) addChild(id, parentID, redSrc, redMult int) (*tempNode, error
 	if tv.nodes[id] != nil {
 		return nil, fmt.Errorf("core: temp VHT already has node %d", id)
 	}
-	child := &tempNode{id: id, parent: parent, redSrc: redSrc, redMult: redMult}
+	child := tv.newNode()
+	child.id = id
+	child.parent = parent
+	child.redSrc = redSrc
+	child.redMult = redMult
 	tv.nodes[id] = child
 	return child, nil
 }
 
-// pathRedEdges returns the red edges carried by the nodes on the path from
-// the node with the given ID up to (excluding) its root, i.e. the full set
-// of red edges the corresponding VHT node must receive (Listing 5 lines
-// 42–48). Repeated sources are accumulated.
-func (tv *tempVHT) pathRedEdges(id int) (map[int]int, error) {
+// appendPathRedEdges appends to buf the red edges carried by the nodes on
+// the path from the node with the given ID up to (excluding) its root, i.e.
+// the full set of red edges the corresponding VHT node must receive
+// (Listing 5 lines 42–48). Repeated sources are accumulated; the result is
+// sorted by source ID. buf is usually a reused scratch slice (buf[:0]).
+func (tv *tempVHT) appendPathRedEdges(id int, buf []obs) ([]obs, error) {
 	n := tv.nodes[id]
 	if n == nil {
-		return nil, fmt.Errorf("core: temp VHT has no node %d", id)
+		return buf, fmt.Errorf("core: temp VHT has no node %d", id)
 	}
-	out := make(map[int]int)
+	start := len(buf)
 	for n.parent != nil {
-		out[n.redSrc] += n.redMult
+		buf = append(buf, obs{id2: n.redSrc, mult: n.redMult})
 		n = n.parent
 	}
-	return out, nil
+	s := buf[start:]
+	slices.SortFunc(s, func(a, b obs) int { return a.id2 - b.id2 })
+	w := 0
+	for r := 1; r < len(s); r++ {
+		if s[r].id2 == s[w].id2 {
+			s[w].mult += s[r].mult
+		} else {
+			w++
+			s[w] = s[r]
+		}
+	}
+	if len(s) > 0 {
+		buf = buf[:start+w+1]
+	}
+	return buf, nil
 }
 
 // levelGraph is the auxiliary graph on the previous level's nodes
@@ -87,14 +148,24 @@ type levelGraph struct {
 
 // newLevelGraph returns an edgeless graph on the given node IDs.
 func newLevelGraph(ids []int) *levelGraph {
-	lg := &levelGraph{
-		parent: make(map[int]int, len(ids)),
-		edges:  make(map[[2]int]bool),
+	lg := &levelGraph{}
+	lg.reset(ids)
+	return lg
+}
+
+// reset rewinds the graph to an edgeless one on the given node IDs,
+// keeping the map storage for reuse.
+func (lg *levelGraph) reset(ids []int) {
+	if lg.parent == nil {
+		lg.parent = make(map[int]int, len(ids))
+		lg.edges = make(map[[2]int]bool)
+	} else {
+		clear(lg.parent)
+		clear(lg.edges)
 	}
 	for _, id := range ids {
 		lg.parent[id] = id
 	}
-	return lg
 }
 
 func (lg *levelGraph) find(x int) int {

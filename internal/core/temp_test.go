@@ -25,15 +25,16 @@ func TestTempVHTChains(t *testing.T) {
 	if got := tv.root(4).id; got != 0 {
 		t.Fatalf("root of 4 is %d, want 0", got)
 	}
-	reds, err := tv.pathRedEdges(4)
+	reds, err := tv.appendPathRedEdges(4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reds) != 2 || reds[0] != 2 || reds[1] != 1 {
-		t.Fatalf("path red edges = %v, want {0:2, 1:1}", reds)
+	want := []obs{{id2: 0, mult: 2}, {id2: 1, mult: 1}}
+	if len(reds) != 2 || reds[0] != want[0] || reds[1] != want[1] {
+		t.Fatalf("path red edges = %v, want %v", reds, want)
 	}
 	// Roots contribute no red edges.
-	rootReds, err := tv.pathRedEdges(0)
+	rootReds, err := tv.appendPathRedEdges(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +51,12 @@ func TestTempVHTAccumulatesRepeatedSources(t *testing.T) {
 	if _, err := tv.addChild(3, 2, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	reds, err := tv.pathRedEdges(3)
+	reds, err := tv.appendPathRedEdges(3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reds[0] != 3 {
-		t.Fatalf("accumulated multiplicity = %d, want 3", reds[0])
+	if len(reds) != 1 || reds[0].id2 != 0 || reds[0].mult != 3 {
+		t.Fatalf("accumulated path reds = %v, want [{0 3}]", reds)
 	}
 }
 
@@ -67,7 +68,7 @@ func TestTempVHTErrors(t *testing.T) {
 	if _, err := tv.addChild(0, 0, 0, 1); err == nil {
 		t.Error("duplicate ID must fail")
 	}
-	if _, err := tv.pathRedEdges(42); err == nil {
+	if _, err := tv.appendPathRedEdges(42, nil); err == nil {
 		t.Error("unknown node must fail")
 	}
 }

@@ -57,33 +57,89 @@ func (b *blockTransport) Round() int { return b.inner.Round() / b.t }
 // PID forwards the engine process index (instrumentation only).
 func (b *blockTransport) PID() int { return b.inner.PID() }
 
-// sendAndReceive broadcasts a protocol message and converts the received
-// engine messages back to wire messages.
-func (p *Process) sendAndReceive(m wire.Message) ([]wire.Message, error) {
+// nullValue / boxedNull are the Null message and its pre-boxed interface
+// value: every non-leader acknowledgment round sends Null, so the box is
+// shared simulation-wide instead of re-allocated.
+//
+// Boxes are pointers. *wire.Message is a direct-interface type, so asserting
+// a delivery costs a pointer load instead of the 48-byte struct copy that a
+// value box would force, and two deliveries of the same box compare equal by
+// a single pointer comparison. The pointee is never mutated after the box is
+// published (boxFor copies the value in before handing the box out).
+var (
+	nullValue = wire.Null()
+	boxedNull = &nullValue
+)
+
+// broadcast sends m (through the box cache) and returns the raw engine
+// deliveries. The returned slice is retained in rxRaw so boxFor can recycle
+// the received boxes at the next send; it is read strictly before the next
+// SendAndReceive, inside the engine's inbox validity window.
+func (p *Process) broadcast(m wire.Message) ([]engine.Message, error) {
 	// Boxing m into the engine.Message interface heap-allocates. Priority
 	// broadcast re-sends the same message for up to Θ(n²) consecutive
 	// rounds, so reusing the previous round's box when the value is
-	// unchanged removes one allocation per process per round — formerly
-	// half of the simulation's total allocation count. The box is never
-	// mutated (the struct is copied into it), so the engine may keep
-	// referencing it after a newer message replaces it.
-	if p.txBoxed == nil || p.txLast != m {
-		p.txBoxed = m
+	// unchanged removes one allocation per process per round — formerly a
+	// third of the simulation's total allocation count. When the value did
+	// change, boxFor still usually avoids the allocation by adopting a box
+	// received last round (broadcasts mostly echo a received message). A
+	// box is never mutated (the struct is copied into it), so the engine
+	// may keep referencing it after a newer message replaces it.
+	if p.txBoxed == nil || !wire.Equal(p.txLast, m) {
+		p.txBoxed = p.boxFor(m)
 		p.txLast = m
 	}
-	raw, err := p.tr.SendAndReceive(p.txBoxed)
+	return p.send()
+}
+
+// broadcastPtr is broadcast for a message already held in an immutable heap
+// box (one minted by boxFor, delivered by the engine, or allocated by
+// receiveTopPtr's fallback — never a pointer to a caller's local). In the
+// broadcast steady state the caller re-sends the box it adopted last round,
+// so the unchanged-message check is a single pointer comparison; a box with
+// a merely equal value keeps the currently published box, preserving box
+// identity for the engine's pointer-keyed size memo.
+func (p *Process) broadcastPtr(mp *wire.Message) ([]engine.Message, error) {
+	if p.txBoxed == nil || (p.txBoxed != mp && !wire.Equal(*p.txBoxed, *mp)) {
+		p.txBoxed = mp
+		p.txLast = *mp
+	}
+	return p.send()
+}
+
+// send transmits the cached box and retains the raw deliveries in rxRaw.
+func (p *Process) send() ([]engine.Message, error) {
+	var raw []engine.Message
+	var err error
+	if p.trEng != nil {
+		raw, err = p.trEng.SendAndReceive(p.txBoxed)
+	} else {
+		raw, err = p.tr.SendAndReceive(p.txBoxed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.rxRaw = raw
+	return raw, nil
+}
+
+// sendAndReceive broadcasts a protocol message and converts the received
+// engine messages back to wire messages.
+func (p *Process) sendAndReceive(m wire.Message) ([]wire.Message, error) {
+	raw, err := p.broadcast(m)
 	if err != nil {
 		return nil, err
 	}
 	// The converted slice is scratch reused across rounds: no caller
 	// retains it past its next sendAndReceive (mirroring the engine's
 	// inbox validity window), so the per-round allocation would be waste.
+	// rxBuf gets sorted in place by callers; raw is never mutated.
 	if cap(p.rxBuf) < len(raw) {
 		p.rxBuf = make([]wire.Message, len(raw))
 	}
 	out := p.rxBuf[:len(raw)]
 	for i, r := range raw {
-		wm, ok := r.(wire.Message)
+		wm, ok := wire.FromBox(r)
 		if !ok {
 			return nil, fmt.Errorf("core: received non-protocol message %T", r)
 		}
@@ -92,9 +148,89 @@ func (p *Process) sendAndReceive(m wire.Message) ([]wire.Message, error) {
 	return out, nil
 }
 
+// receiveTopPtr broadcasts the boxed message *mp and folds the deliveries
+// into the highest-priority message among it and everything received, in a
+// single pass over the raw engine messages. Broadcast steps dominate the
+// protocol's rounds and only need that maximum, so skipping the
+// materialized []wire.Message conversion (and its second scan) measurably
+// shortens the hot loop.
+//
+// The returned pointer is always an immutable heap box (the sent box, a
+// received engine box, or a fresh copy of a value-boxed maximum), so the
+// caller may feed it straight back into the next round: one origination
+// propagates through the network as a single shared box, and after its
+// wave has passed, every comparison in this loop is settled by pointer
+// identity alone.
+func (p *Process) receiveTopPtr(mp *wire.Message) (*wire.Message, error) {
+	raw, err := p.broadcastPtr(mp)
+	if err != nil {
+		return mp, err
+	}
+	// broadcastPtr published a box holding a value equal to *mp (usually mp
+	// itself); seeding top with the published box lets deliveries that
+	// relay it — every neighbor, in steady-state broadcast — settle on the
+	// pointer comparison below without touching the fields.
+	top := p.txBoxed
+	for _, r := range raw {
+		pm, ok := r.(*wire.Message)
+		if !ok {
+			// Value-boxed delivery from a stub transport (never the engine).
+			wm, ok := wire.FromBox(r)
+			if !ok {
+				return mp, fmt.Errorf("core: received non-protocol message %T", r)
+			}
+			if Higher(wm, *top) {
+				// Copy into a fresh box: the result may be re-broadcast and
+				// pointer-cached downstream, so it must never alias mutable
+				// storage. Cold path — the engine always delivers pointers.
+				hp := new(wire.Message)
+				*hp = wm
+				top = hp
+			}
+			continue
+		}
+		// An equal message can never be strictly higher, so the struct
+		// comparison spares the full priority comparison for boxes that
+		// arrive with equal values under distinct identities (wave fronts).
+		if pm == top || wire.Equal(*pm, *top) {
+			continue
+		}
+		if Higher(*pm, *top) {
+			top = pm
+		}
+	}
+	return top, nil
+}
+
+// boxFor returns an immutable heap box holding m, preferring an existing
+// box over a fresh allocation: the shared Null box, a recently created box
+// (txCache — a process re-proposes the same Edge/Done at the start of every
+// broadcast phase until it is accepted, so its own origination repeats many
+// times), or one received last round.
+func (p *Process) boxFor(m wire.Message) *wire.Message {
+	if wire.Equal(m, nullValue) {
+		return boxedNull
+	}
+	for i := range p.txCache {
+		if p.txCache[i].box != nil && wire.Equal(p.txCache[i].m, m) {
+			return p.txCache[i].box
+		}
+	}
+	for _, r := range p.rxRaw {
+		if pm, ok := r.(*wire.Message); ok && wire.Equal(*pm, m) {
+			return pm
+		}
+	}
+	pm := new(wire.Message)
+	*pm = m
+	p.txCache[p.txCacheNext] = txBox{m: m, box: pm}
+	p.txCacheNext = (p.txCacheNext + 1) % len(p.txCache)
+	return pm
+}
+
 // SizeOf measures protocol messages for the engine's congestion accounting.
 func SizeOf(m engine.Message) int {
-	wm, ok := m.(wire.Message)
+	wm, ok := wire.FromBox(m)
 	if !ok {
 		return 0
 	}
@@ -105,29 +241,50 @@ func SizeOf(m engine.Message) int {
 // message value. Priority broadcast re-sends the same message for up to
 // Θ(n²) consecutive rounds and every process relays it, so the accounting
 // path re-measures identical values constantly; wire.Message is comparable,
-// which makes a map keyed by value an exact cache. Each run gets its own
-// memo (runners invoke SizeOf from a single goroutine, so no locking).
+// which makes a map keyed by value an exact cache. Boxes are immutable
+// pointers reused across rounds (see boxFor), so the recency slots compare
+// box identity — one pointer compare — before falling back to the map. Each
+// run gets its own memo (runners invoke SizeOf from a single goroutine, so
+// no locking).
 func newSizeMemo() func(engine.Message) int {
 	memo := make(map[wire.Message]int)
-	var last wire.Message
-	lastBits := -1
+	var p0, p1 *wire.Message
+	var bits0, bits1 int
 	return func(m engine.Message) int {
-		wm, ok := m.(wire.Message)
+		pm, ok := m.(*wire.Message)
 		if !ok {
-			return 0
+			// Value-boxed delivery from a stub transport (never the engine).
+			wm, ok := wire.FromBox(m)
+			if !ok {
+				return 0
+			}
+			bits, ok := memo[wm]
+			if !ok {
+				bits = wire.SizeBits(wm)
+				memo[wm] = bits
+			}
+			return bits
 		}
 		// Within a round the accounting loop sees the processes' messages
-		// back to back, and during broadcast they are all the same value:
-		// one struct comparison beats hashing into the memo.
-		if lastBits >= 0 && wm == last {
-			return lastBits
+		// back to back, and during broadcast they are all the same box
+		// except the originator's: two cached entries (most recent first)
+		// absorb the leader/crowd alternation that a single-entry cache
+		// misses twice every round, keeping the hash lookups to the rare
+		// genuinely new values.
+		if pm == p0 {
+			return bits0
 		}
-		bits, ok := memo[wm]
+		if pm == p1 {
+			p0, bits0, p1, bits1 = p1, bits1, p0, bits0
+			return bits0
+		}
+		bits, ok := memo[*pm]
 		if !ok {
-			bits = wire.SizeBits(wm)
-			memo[wm] = bits
+			bits = wire.SizeBits(*pm)
+			memo[*pm] = bits
 		}
-		last, lastBits = wm, bits
+		p1, bits1 = p0, bits0
+		p0, bits0 = pm, bits
 		return bits
 	}
 }

@@ -226,6 +226,19 @@ func (g *Multigraph) setCanonicalLinks(links []Link) {
 	g.dirty = false
 }
 
+// Reset reinitializes g in place to an empty graph on n processes, keeping
+// the link backing storage for reuse. It is the receiving half of
+// InPlaceSchedule.GraphInto. It panics if n is negative.
+func (g *Multigraph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("dynnet: negative process count %d", n))
+	}
+	g.n = n
+	g.links = g.links[:0]
+	g.canon = nil
+	g.dirty = false
+}
+
 // Clone returns a deep copy of g.
 func (g *Multigraph) Clone() *Multigraph {
 	out := NewMultigraph(g.n)

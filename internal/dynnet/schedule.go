@@ -2,9 +2,12 @@ package dynnet
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	randv2 "math/rand/v2"
 	"slices"
+	"sync"
 )
 
 // Schedule is a dynamic network: an adversary that produces the
@@ -17,6 +20,18 @@ type Schedule interface {
 	N() int
 	// Graph returns the communication multigraph of round t (t ≥ 1).
 	Graph(t int) *Multigraph
+}
+
+// InPlaceSchedule is an optional Schedule extension for allocation-free
+// round generation: GraphInto computes the round-t multigraph into g,
+// resetting it and reusing its backing storage, with a result identical to
+// Graph(t). The engine's router uses it when available, so a steady-state
+// simulation round allocates nothing for its communication graph; callers
+// that retain graphs across rounds must keep using Graph.
+type InPlaceSchedule interface {
+	Schedule
+	// GraphInto computes the round-t multigraph into g (t ≥ 1).
+	GraphInto(t int, g *Multigraph)
 }
 
 // StaticSchedule repeats a fixed multigraph at every round.
@@ -109,7 +124,7 @@ type RandomConnectedSchedule struct {
 	seed int64
 }
 
-var _ Schedule = (*RandomConnectedSchedule)(nil)
+var _ InPlaceSchedule = (*RandomConnectedSchedule)(nil)
 
 // NewRandomConnected returns a random connected schedule on n processes
 // with extra-edge probability p ∈ [0, 1].
@@ -126,8 +141,51 @@ func (s *RandomConnectedSchedule) N() int { return s.n }
 // dominate the whole simulation hot loop (see the PR 3 scheduler table in
 // EXPERIMENTS.md). The schedule remains a pure function of (n, p, seed, t).
 func (s *RandomConnectedSchedule) Graph(t int) *Multigraph {
-	rng := randv2.New(randv2.NewPCG(uint64(s.seed), uint64(t)))
-	return randomConnectedV2(s.n, s.p, rng)
+	g := NewMultigraph(s.n)
+	s.GraphInto(t, g)
+	return g
+}
+
+// GraphInto implements InPlaceSchedule: the same graph as Graph(t), built
+// into g's reused storage.
+func (s *RandomConnectedSchedule) GraphInto(t int, g *Multigraph) {
+	// The generator pair (PCG state + Rand wrapper) is pooled: Seed fully
+	// resets the PCG, so a recycled generator is indistinguishable from a
+	// fresh one, and the simulation's once-per-round Graph call stops
+	// paying two heap allocations for a 2-word state struct.
+	b := rngPool.Get().(*rngBuf)
+	b.pcg.Seed(uint64(s.seed), uint64(t))
+	randomConnectedV2Into(g, s.n, s.p, &b.pcg)
+	rngPool.Put(b)
+}
+
+// rngBuf holds a pooled PCG so the once-per-round reseed reuses its state
+// struct instead of heap-allocating one.
+type rngBuf struct {
+	pcg randv2.PCG
+}
+
+var rngPool = sync.Pool{New: func() any { return &rngBuf{} }}
+
+// pcgUint64N is math/rand/v2's Rand.uint64n on a concrete PCG source: a
+// Lemire scaled multiply whose rejection loop near-never runs.
+// Devirtualizing the source saves an interface dispatch per draw (~n²/2
+// draws per simulated round), and pinning the reduction here keeps the
+// schedule stream locked in-repo. The stdlib's 32-bit variant documents
+// that it preserves this exact 64-bit output sequence, so one replica
+// covers all platforms.
+func pcgUint64N(pcg *randv2.PCG, n uint64) uint64 {
+	if n&(n-1) == 0 { // n is a power of two, can mask
+		return pcg.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(pcg.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(pcg.Uint64(), n)
+		}
+	}
+	return hi
 }
 
 // RandomConnected draws one connected graph on n vertices: a random
@@ -155,25 +213,165 @@ func RandomConnected(n int, p float64, rng *rand.Rand) *Multigraph {
 	return g
 }
 
-// randomConnectedV2 is RandomConnected driven by a math/rand/v2 generator
-// — the hot-loop variant used by RandomConnectedSchedule, whose per-round
-// PCG is O(1) to construct (see Graph). It draws the same distribution as
+// randomConnectedV2Into is RandomConnected driven by a math/rand/v2 PCG —
+// the hot-loop generator behind RandomConnectedSchedule, whose per-round
+// PCG is O(1) to reseed (see Graph). It draws the same distribution as
 // RandomConnected but emits the links in canonical (U, V) order — the
-// extra-edge loop already iterates pairs in order, and the n-1 sorted tree
-// edges are merged into that stream — so the graph is born canonical and
-// the engine's once-per-round traversal skips the canonicalization sort
-// that otherwise shows up in simulation profiles.
-func randomConnectedV2(n int, p float64, rng *randv2.Rand) *Multigraph {
-	g := NewMultigraph(n)
+// extra-edge loop already iterates pairs in order, and the n-1 tree edges
+// are merged into that stream — so the graph is born canonical and the
+// engine's once-per-round traversal skips the canonicalization sort that
+// otherwise shows up in simulation profiles. It builds into g's reused
+// storage: g is reset to n processes and its link backing array is
+// refilled, so a router that round-robins one graph buffer allocates
+// nothing per round.
+func randomConnectedV2Into(g *Multigraph, n int, p float64, pcg *randv2.PCG) {
+	g.Reset(n)
 	if n <= 1 {
-		return g
+		return
 	}
-	perm := rng.Perm(n)
-	tree := make([]Link, 0, n-1)
+	// perm and tree are pooled scratch: one Graph call runs per round per
+	// simulation, so the pool converges to a handful of buffers and the
+	// per-round generator allocates only what escapes into g (nothing, once
+	// g's backing has converged). The permutation is drawn by filling
+	// 0..n-1 and shuffling — consuming the identical random stream as
+	// rng.Perm(n), which is specified (and tested, see
+	// TestPermMatchesFillShuffle) to do exactly that — so every previously
+	// recorded schedule is reproduced bit-for-bit.
+	buf := rcScratch.Get().(*rcBuf)
+	perm := buf.perm[:0]
+	for i := 0; i < n; i++ {
+		perm = append(perm, i)
+	}
+	// Manual Fisher–Yates: rand/v2 specifies Shuffle as j := uint64n(i+1)
+	// for i = n-1 … 1, and pcgUint64N replicates uint64n — so this loop
+	// consumes the same stream as rng.Shuffle (and hence rng.Perm) while
+	// skipping the per-swap closure dispatch.
+	for i := n - 1; i > 0; i-- {
+		j := int(pcgUint64N(pcg, uint64(i+1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// Float64() is (Uint64()>>11)·2⁻⁵³ with both steps exact (power-of-two
+	// scalings), so Float64() < p ⟺ Uint64()>>11 < p·2⁵³ in real
+	// arithmetic; pThr = ceil(p·2⁵³) makes that one integer compare per
+	// candidate edge while consuming the identical random stream.
+	pThr := uint64(math.Ceil(p * (1 << 53)))
+	links := g.links[:0]
+	if n <= 64 {
+		// Bitmask dense path: multiplicities accumulate in an n×n
+		// upper-triangular scratch matrix and per-row occupancy bitmasks
+		// record which cells are live. The emit pass then visits only the
+		// live cells (TrailingZeros64 over each row mask) and zeroes them
+		// as it reads — restoring the pool invariant that mat is all-zero
+		// between calls, with no bulk memclr and no empty-cell scanning.
+		if cap(buf.mat) < n*n {
+			buf.mat = make([]int, n*n) // zeroed; emit re-zeroes what it uses
+		} else {
+			buf.mat = buf.mat[:n*n]
+		}
+		mat := buf.mat
+		rows := &buf.rows
+		for i := 1; i < n; i++ {
+			// Attach perm[i] to a uniformly random earlier vertex: a random
+			// recursive tree, which has expected diameter Θ(log n).
+			u, v := perm[i], perm[int(pcgUint64N(pcg, uint64(i)))]
+			if u > v {
+				u, v = v, u
+			}
+			mat[u*n+v]++
+			rows[u] |= 1 << uint(v)
+		}
+		// Extra edges are drawn pair-by-pair in canonical order — the same
+		// RNG consumption order as the sparse path and the original
+		// RandomConnected.
+		for u := 0; u < n; u++ {
+			base := u * n
+			for v := u + 1; v < n; v++ {
+				if pcg.Uint64()<<11>>11 < pThr {
+					mat[base+v]++
+					rows[u] |= 1 << uint(v)
+				}
+			}
+		}
+		cnt := 0
+		for u := 0; u < n; u++ {
+			cnt += bits.OnesCount64(rows[u])
+		}
+		if cap(links) < cnt {
+			links = make([]Link, 0, cnt)
+		}
+		for u := 0; u < n; u++ {
+			base := u * n
+			m := rows[u]
+			for m != 0 {
+				v := bits.TrailingZeros64(m)
+				m &= m - 1
+				links = append(links, Link{U: u, V: v, Mult: mat[base+v]})
+				mat[base+v] = 0
+			}
+			rows[u] = 0
+		}
+		buf.perm = perm
+		rcScratch.Put(buf)
+		g.setCanonicalLinks(links)
+		return
+	}
+	if n <= rcMatrixMaxN {
+		// Dense path without masks (64 < n ≤ 256): same matrix accumulation,
+		// full-triangle emit scan that re-zeroes live cells, keeping the
+		// all-zero pool invariant shared with the bitmask path.
+		if cap(buf.mat) < n*n {
+			buf.mat = make([]int, n*n)
+		} else {
+			buf.mat = buf.mat[:n*n]
+		}
+		mat := buf.mat
+		cnt := 0
+		for i := 1; i < n; i++ {
+			// Attach perm[i] to a uniformly random earlier vertex: a random
+			// recursive tree, which has expected diameter Θ(log n).
+			u, v := perm[i], perm[int(pcgUint64N(pcg, uint64(i)))]
+			if u > v {
+				u, v = v, u
+			}
+			if mat[u*n+v] == 0 {
+				cnt++
+			}
+			mat[u*n+v]++
+		}
+		for u := 0; u < n; u++ {
+			base := u * n
+			for v := u + 1; v < n; v++ {
+				if pcg.Uint64()<<11>>11 < pThr {
+					if mat[base+v] == 0 {
+						cnt++
+					}
+					mat[base+v]++
+				}
+			}
+		}
+		if cap(links) < cnt {
+			links = make([]Link, 0, cnt)
+		}
+		for u := 0; u < n; u++ {
+			base := u * n
+			for v := u + 1; v < n; v++ {
+				if m := mat[base+v]; m > 0 {
+					links = append(links, Link{U: u, V: v, Mult: m})
+					mat[base+v] = 0
+				}
+			}
+		}
+		buf.perm = perm
+		rcScratch.Put(buf)
+		g.setCanonicalLinks(links)
+		return
+	}
+
+	tree := buf.tree[:0]
 	for i := 1; i < n; i++ {
 		// Attach perm[i] to a uniformly random earlier vertex: a random
 		// recursive tree, which has expected diameter Θ(log n).
-		u, v := perm[i], perm[rng.IntN(i)]
+		u, v := perm[i], perm[int(pcgUint64N(pcg, uint64(i)))]
 		if u > v {
 			u, v = v, u
 		}
@@ -181,7 +379,9 @@ func randomConnectedV2(n int, p float64, rng *randv2.Rand) *Multigraph {
 	}
 	slices.SortFunc(tree, cmpLinks)
 
-	links := make([]Link, 0, n-1+int(p*float64(n*(n-1)/2))+4)
+	if c := n - 1 + int(p*float64(n*(n-1)/2)) + 4; cap(links) < c {
+		links = make([]Link, 0, c)
+	}
 	emit := func(l Link) {
 		if k := len(links); k > 0 && links[k-1].U == l.U && links[k-1].V == l.V {
 			links[k-1].Mult += l.Mult
@@ -196,7 +396,7 @@ func randomConnectedV2(n int, p float64, rng *randv2.Rand) *Multigraph {
 				emit(tree[ti])
 				ti++
 			}
-			if rng.Float64() < p {
+			if pcg.Uint64()<<11>>11 < pThr {
 				emit(Link{U: u, V: v, Mult: 1})
 			}
 		}
@@ -204,9 +404,28 @@ func randomConnectedV2(n int, p float64, rng *randv2.Rand) *Multigraph {
 	for ; ti < len(tree); ti++ {
 		emit(tree[ti])
 	}
+	buf.perm, buf.tree = perm, tree
+	rcScratch.Put(buf)
 	g.setCanonicalLinks(links)
-	return g
 }
+
+// rcMatrixMaxN bounds the dense-matrix fast path of randomConnectedV2Into
+// (the pooled scratch matrix costs n² words).
+const rcMatrixMaxN = 256
+
+// rcBuf is the reusable scratch of one randomConnectedV2Into call. Only the
+// buffers that do not escape into the graph live here; the links slice
+// belongs to the target Multigraph. Invariant between calls: mat is
+// all-zero and rows is all-zero (each emit pass restores what it used), so
+// no per-call clear is needed.
+type rcBuf struct {
+	perm []int
+	tree []Link
+	mat  []int      // n×n multiplicity matrix of the dense paths
+	rows [64]uint64 // per-row occupancy masks of the bitmask path (n ≤ 64)
+}
+
+var rcScratch = sync.Pool{New: func() any { return new(rcBuf) }}
 
 // RotatingStarSchedule presents a star whose center rotates every round.
 // Its dynamic diameter is 2, but process degrees change constantly, which

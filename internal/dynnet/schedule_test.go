@@ -2,6 +2,7 @@ package dynnet
 
 import (
 	randv2 "math/rand/v2"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -234,6 +235,52 @@ func TestSchedulePureFunctionProperty(t *testing.T) {
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestPermMatchesFillShuffle pins the stream-identity assumption behind the
+// pooled scratch in randomConnectedV2: drawing a permutation by filling
+// 0..n-1 and calling Shuffle consumes the random stream exactly like
+// rng.Perm(n), so the scratch-buffer rewrite cannot perturb any recorded
+// schedule. If a Go release ever changes Perm's definition, this fails
+// before any golden schedule does.
+func TestPermMatchesFillShuffle(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 12, 33} {
+		for seed := uint64(0); seed < 5; seed++ {
+			a := randv2.New(randv2.NewPCG(seed, 99))
+			b := randv2.New(randv2.NewPCG(seed, 99))
+			want := a.Perm(n)
+			got := make([]int, n)
+			for i := range got {
+				got[i] = i
+			}
+			b.Shuffle(n, func(i, j int) { got[i], got[j] = got[j], got[i] })
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d seed=%d: fill+Shuffle %v != Perm %v", n, seed, got, want)
+			}
+			// Both generators must also be left in the same state.
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d seed=%d: generators diverged after permutation", n, seed)
+			}
+		}
+	}
+}
+
+// TestRandomConnectedScheduleStableAcrossScratchReuse exercises the pooled
+// scratch across interleaved graph sizes: two schedules of different n
+// sharing the pool must still each be a pure function of t.
+func TestRandomConnectedScheduleStableAcrossScratchReuse(t *testing.T) {
+	big := NewRandomConnected(17, 0.4, 3)
+	small := NewRandomConnected(5, 0.2, 4)
+	wantBig := big.Graph(7).String()
+	wantSmall := small.Graph(9).String()
+	for i := 0; i < 50; i++ {
+		if got := big.Graph(7).String(); got != wantBig {
+			t.Fatalf("iteration %d: big graph drifted:\n%s\nwant:\n%s", i, got, wantBig)
+		}
+		if got := small.Graph(9).String(); got != wantSmall {
+			t.Fatalf("iteration %d: small graph drifted", i)
 		}
 	}
 }

@@ -11,10 +11,10 @@
 //
 // Two schedulers execute the same semantics (see Scheduler):
 //
-//   - SchedulerSequential (the default) resumes the parked process
-//     goroutines one at a time by direct handoff — no central event loop,
-//     no selects, no contention — so the per-round cost is the protocol's
-//     own work plus the shared routing.
+//   - SchedulerSequential (the default) runs each process as a pull
+//     coroutine and resumes them one at a time by direct coroutine switch —
+//     no channels, no scheduler queueing, no contention — so the per-round
+//     cost is the protocol's own work plus the shared routing.
 //   - SchedulerConcurrent runs every process goroutine in parallel under a
 //     central coordinator. It is retained for the sequential-vs-concurrent
 //     equivalence contract (DESIGN.md §6) and race-detector coverage.
@@ -102,11 +102,11 @@ type AdaptiveSchedule interface {
 type Scheduler int
 
 const (
-	// SchedulerSequential is the default (zero value): processes are
-	// resumed one at a time by direct unbuffered handoff, with no central
-	// event loop, no selects, and alive/waiting tracked by plain counters.
-	// One process runs at any moment, so the Go runtime's cross-core
-	// synchronization never enters the round hot loop. Simulations are
+	// SchedulerSequential is the default (zero value): processes run as
+	// pull coroutines resumed one at a time by direct coroutine switch,
+	// with no central event loop, no channels, and alive/waiting tracked by
+	// plain counters. One process runs at any moment and control transfers
+	// bypass the goroutine scheduler entirely. Simulations are
 	// round-throughput-bound (the protocol runs Θ(n³) rounds), which makes
 	// this the right default; external cancellation is observed at round
 	// boundaries.
@@ -236,15 +236,11 @@ func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, er
 			rt:      newRouter(&cfg, n),
 			state:   make([]procState, n),
 			pending: make([]Message, n),
-			resume:  make([]chan seqResume, n),
-			yield:   make(chan seqYield),
-			// The chain is inert (advance finds nothing) until the first
-			// route resets the cursor; start-phase submissions must not
-			// deliver to already-parked processes.
-			cursor: n,
-		}
-		for i := range s.resume {
-			s.resume[i] = make(chan seqResume)
+			next:    make([]func() (struct{}, bool), n),
+			stop:    make([]func(), n),
+			yield:   make([]func(struct{}) bool, n),
+			inbox:   make([][]Message, n),
+			done:    make([]seqDone, n),
 		}
 		return s.run(procs)
 	}
@@ -285,9 +281,6 @@ type evKind int
 const (
 	evSubmit evKind = iota + 1
 	evDone
-	// evSweep is used only by the sequential runner: a round's resume chain
-	// completed inside a process, which hands control back to the runner.
-	evSweep
 )
 
 type coordinator struct {

@@ -33,21 +33,36 @@ type router struct {
 	// SendAndReceive, per the documented validity window.
 	outHeads  [][]Message
 	degree    []int
+	pos       []int
 	sent      []Message
 	sentByPID []Message
 	backings  [2][]Message
+
+	// inPlace is the schedule's optional allocation-free generator; gbuf is
+	// the single reused graph it fills. route only reads the graph inside
+	// the call, so one buffer (no parity pair) suffices.
+	inPlace dynnet.InPlaceSchedule
+	gbuf    *dynnet.Multigraph
 }
 
 // newRouter returns a router for n processes. The Config must outlive it.
 func newRouter(cfg *Config, n int) *router {
-	return &router{
+	rt := &router{
 		cfg:       cfg,
 		n:         n,
 		outHeads:  make([][]Message, n),
 		degree:    make([]int, n),
+		pos:       make([]int, n),
 		sent:      make([]Message, 0, n),
 		sentByPID: make([]Message, n),
 	}
+	if cfg.Adaptive == nil {
+		if ips, ok := cfg.Schedule.(dynnet.InPlaceSchedule); ok {
+			rt.inPlace = ips
+			rt.gbuf = dynnet.NewMultigraph(n)
+		}
+	}
+	return rt
 }
 
 // route completes one round: it accounts message sizes, routes the pending
@@ -60,17 +75,26 @@ func (rt *router) route(state []procState, pending []Message, res *Result) ([][]
 
 	out := rt.outHeads
 	sent := rt.sent[:0]
+	// sentByPID only feeds the adaptive adversary; skip maintaining it
+	// otherwise.
+	adaptive := rt.cfg.Adaptive != nil
 	sentByPID := rt.sentByPID
-	for pid := range sentByPID {
-		sentByPID[pid] = nil
+	if adaptive {
+		for pid := range sentByPID {
+			sentByPID[pid] = nil
+		}
 	}
+	waiting := 0
 	for pid, s := range state {
 		if s != stateWaiting {
 			continue
 		}
+		waiting++
 		msg := pending[pid]
 		sent = append(sent, msg)
-		sentByPID[pid] = msg
+		if adaptive {
+			sentByPID[pid] = msg
+		}
 		res.TotalMessages++
 		if rt.cfg.SizeOf != nil {
 			bits := rt.cfg.SizeOf(msg)
@@ -85,9 +109,13 @@ func (rt *router) route(state []procState, pending []Message, res *Result) ([][]
 	}
 
 	var g *dynnet.Multigraph
-	if rt.cfg.Adaptive != nil {
+	switch {
+	case rt.cfg.Adaptive != nil:
 		g = rt.cfg.Adaptive.Graph(rt.round, sentByPID)
-	} else {
+	case rt.inPlace != nil:
+		rt.inPlace.GraphInto(rt.round, rt.gbuf)
+		g = rt.gbuf
+	default:
 		g = rt.cfg.Schedule.Graph(rt.round)
 	}
 	if g.N() != rt.n {
@@ -101,16 +129,18 @@ func (rt *router) route(state []procState, pending []Message, res *Result) ([][]
 	// process may legitimately keep reading its previous round's inbox
 	// slice until its next SendAndReceive (see the Transport contract), so
 	// the buffer written this round must not be the one delivered last
-	// round.
+	// round. When every process participates (the common case until
+	// termination), both passes skip the per-endpoint liveness checks.
 	links := g.CanonicalLinks()
 	deg := rt.degree
 	for pid := range deg {
 		deg[pid] = 0
 	}
 	total := 0
+	all := waiting == rt.n
 	for _, l := range links {
-		uAlive := state[l.U] == stateWaiting
-		vAlive := state[l.V] == stateWaiting
+		uAlive := all || state[l.U] == stateWaiting
+		vAlive := all || state[l.V] == stateWaiting
 		if l.U == l.V {
 			if uAlive {
 				deg[l.U] += l.Mult
@@ -126,37 +156,54 @@ func (rt *router) route(state []procState, pending []Message, res *Result) ([][]
 	}
 	backing := rt.backings[rt.round&1]
 	if cap(backing) < total {
-		backing = make([]Message, 0, total)
+		backing = make([]Message, total)
 		rt.backings[rt.round&1] = backing
 	}
+	backing = backing[:total]
+	// pos tracks each inbox's write cursor into the shared backing. Writing
+	// through an int cursor instead of append keeps the delivery loop free
+	// of slice-header loads and stores; every inbox fills to exactly
+	// deg[pid] because the delivery conditions below mirror the degree
+	// pass above.
+	pos := rt.pos
 	off := 0
 	for pid := range out {
 		if deg[pid] == 0 {
 			out[pid] = nil
+			pos[pid] = off
 			continue
 		}
-		out[pid] = backing[off : off : off+deg[pid]]
+		out[pid] = backing[off : off+deg[pid] : off+deg[pid]]
+		pos[pid] = off
 		off += deg[pid]
 	}
 
 	for _, l := range links {
-		uAlive := state[l.U] == stateWaiting
-		vAlive := state[l.V] == stateWaiting
+		uAlive := all || state[l.U] == stateWaiting
+		vAlive := all || state[l.V] == stateWaiting
 		if l.U == l.V {
 			if uAlive {
+				pu, mu := pos[l.U], pending[l.U]
 				for k := 0; k < l.Mult; k++ {
-					out[l.U] = append(out[l.U], pending[l.U])
+					backing[pu] = mu
+					pu++
 				}
+				pos[l.U] = pu
 			}
 			continue
 		}
-		for k := 0; k < l.Mult; k++ {
-			if uAlive && vAlive {
-				out[l.U] = append(out[l.U], pending[l.V])
-				out[l.V] = append(out[l.V], pending[l.U])
+		if uAlive && vAlive {
+			pu, pv := pos[l.U], pos[l.V]
+			mu, mv := pending[l.U], pending[l.V]
+			for k := 0; k < l.Mult; k++ {
+				backing[pu] = mv
+				pu++
+				backing[pv] = mu
+				pv++
 			}
-			// A terminated endpoint neither sends nor receives.
+			pos[l.U], pos[l.V] = pu, pv
 		}
+		// A terminated endpoint neither sends nor receives.
 	}
 
 	if rt.cfg.Trace != nil {

@@ -4,39 +4,45 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 )
 
-// seqResume is the delivery half of a direct handoff: the process's round
-// inbox, or the stop signal.
-type seqResume struct {
-	msgs []Message
-	stop bool
+// seqDone records a returned process: its output, its error, and the fact
+// that the coroutine function actually completed (as opposed to never having
+// been resumed to completion).
+type seqDone struct {
+	output   any
+	err      error
+	finished bool
 }
 
-// seqYield is a transfer of control back to the runner: the round's resume
-// chain completed (evSweep), or a process returned (evDone).
-type seqYield struct {
-	pid    int
-	output any   // valid when kind == evDone
-	err    error // valid when kind == evDone
-	kind   evKind
-}
+// stepResult classifies what happened after the runner resumed one process.
+type stepResult int
 
-// seqRunner is the sequential direct-execution scheduler. Process
-// goroutines are parked on per-process resume channels; after routing a
-// round the runner resumes the first one, and each process — inside its
-// next SendAndReceive — hands control straight to the next undelivered
-// process, forming a resume chain that returns to the runner only when the
-// round's deliveries are exhausted. Exactly one goroutine is runnable at
-// any moment and each process costs a single handoff per round — no
-// central event loop, no selects, no stop-channel contention, no census
-// scans (alive/waiting are plain counters) — so the per-round cost is the
-// protocol's own work plus the shared routing.
+const (
+	// stepParked: the process submitted a message and is parked awaiting
+	// delivery.
+	stepParked stepResult = iota
+	// stepDone: the process returned; the round can keep going.
+	stepDone
+	// stepStop: stop condition or error; leave the round loop.
+	stepStop
+)
+
+// seqRunner is the sequential direct-execution scheduler. Each process runs
+// as a pull coroutine (iter.Pull): the runner resumes it with a direct
+// coroutine switch, the process runs until its next SendAndReceive submission
+// and switches straight back. The switch is the runtime's coroutine handoff —
+// no channel, no scheduler queueing, no goroutine ready/park transitions — so
+// the per-round cost is the protocol's own work plus the shared routing;
+// profiling the counting simulation showed the former channel-based handoff
+// spending over a quarter of total CPU inside the runtime scheduler.
 //
 // The strict control-transfer discipline is also the memory model: every
-// shared field (state, pending, out, cursor, counters) is only touched by
-// the currently running goroutine, and each channel handoff publishes the
-// writes to the next one.
+// shared field (state, pending, inbox, counters) is only touched by the
+// currently running coroutine, and each switch orders the writes for the
+// next one (iter.Pull guarantees the iterator and its caller never run
+// concurrently).
 type seqRunner struct {
 	cfg     Config
 	ctx     context.Context
@@ -44,97 +50,109 @@ type seqRunner struct {
 	rt      *router
 	state   []procState
 	pending []Message
-	resume  []chan seqResume
-	yield   chan seqYield
 
-	// out and cursor drive the current round's resume chain: out holds the
-	// routed inboxes, cursor the next pid to consider. advance delivers to
-	// the next stateWaiting pid at or past cursor; re-submissions during
-	// the sweep land behind the cursor, so they are never redelivered.
-	out    [][]Message
-	cursor int
+	// Per-process pull coroutine: next resumes the process until its next
+	// submission (or return), stop unwinds it, yield is the process side of
+	// the switch (captured by the coroutine body on first resume), inbox is
+	// the delivery slot the runner fills before resuming, and done the
+	// output slot the coroutine body fills before returning.
+	next  []func() (struct{}, bool)
+	stop  []func()
+	yield []func(struct{}) bool
+	inbox [][]Message
+	done  []seqDone
 
 	// alive counts processes that have not returned; it is maintained
 	// incrementally (no census scans).
 	alive int
 
-	// stopping is set by the runner before the unwind handoffs begin; the
-	// strict handoff alternation orders the write before any process reads
-	// it, so a non-conforming coroutine that keeps calling SendAndReceive
-	// after ErrStopped spins locally instead of deadlocking the unwind.
+	// stopping is set by the runner before the unwind begins, so a
+	// non-conforming coroutine that keeps calling SendAndReceive after
+	// ErrStopped fails fast instead of blocking on a dead round.
 	stopping bool
 
 	runErr error
 }
 
-// sendAndReceive is Transport.SendAndReceive under the sequential
-// scheduler: submit, hand control down the round's resume chain (waking
-// the runner if the chain is exhausted), and park until delivery.
+// sendAndReceive is Transport.SendAndReceive under the sequential scheduler:
+// record the submission, switch control back to the runner, and continue
+// once the runner has filled the inbox slot and resumed this process.
 func (s *seqRunner) sendAndReceive(t *Transport, msg Message) ([]Message, error) {
 	if s.stopping {
 		return nil, ErrStopped
 	}
 	s.state[t.pid] = stateWaiting
 	s.pending[t.pid] = msg
-	if !s.advance() {
-		s.yield <- seqYield{kind: evSweep}
-	}
-	r := <-s.resume[t.pid]
-	if r.stop {
+	if !s.yield[t.pid](struct{}{}) {
+		// The runner called stop: unwind.
 		return nil, ErrStopped
 	}
 	t.round++
-	return r.msgs, nil
+	return s.inbox[t.pid], nil
 }
 
-// advance resumes the next undelivered process of the current round's
-// chain and reports whether there was one. The caller transfers control
-// with the send and must park (or, for the runner, wait on yield)
-// immediately after.
-func (s *seqRunner) advance() bool {
-	for ; s.cursor < s.n; s.cursor++ {
-		pid := s.cursor
-		if s.state[pid] != stateWaiting {
-			continue
-		}
-		s.state[pid] = stateRunning
-		s.cursor++
-		s.resume[pid] <- seqResume{msgs: s.out[pid]}
-		return true
+// startProc creates the pull coroutine for one process. The body captures
+// its yield function before running the protocol, so sendAndReceive can
+// switch back to the runner.
+func (s *seqRunner) startProc(pid int, proc Coroutine) {
+	tr := &Transport{pid: pid, seq: s}
+	s.next[pid], s.stop[pid] = iter.Pull(func(yield func(struct{}) bool) {
+		s.yield[pid] = yield
+		out, err := proc.Run(tr)
+		s.done[pid] = seqDone{output: out, err: err, finished: true}
+	})
+}
+
+// resume switches control to one process until its next submission or
+// return, updates counters and outputs for completions, and classifies what
+// happened.
+func (s *seqRunner) resume(pid int, res *Result) stepResult {
+	if _, ok := s.next[pid](); ok {
+		return stepParked
 	}
-	return false
+	// The coroutine function completed: the process returned.
+	s.state[pid] = stateDone
+	s.alive--
+	d := s.done[pid]
+	if d.err != nil && !errors.Is(d.err, ErrStopped) {
+		s.runErr = fmt.Errorf("engine: process %d: %w", pid, d.err)
+		return stepStop
+	}
+	if d.err == nil {
+		res.Outputs[pid] = d.output
+	}
+	if s.cfg.StopWhen != nil && s.cfg.StopWhen(res.Outputs) {
+		return stepStop
+	}
+	return stepDone
 }
 
 func (s *seqRunner) run(procs []Coroutine) (*Result, error) {
 	res := &Result{Outputs: make(map[int]any)}
 	if err := s.ctx.Err(); err != nil {
-		// Pre-cancelled: never start a process goroutine.
+		// Pre-cancelled: never start a process coroutine.
 		return res, fmt.Errorf("engine: run cancelled: %w", context.Cause(s.ctx))
 	}
 
 	// Start phase: run every process to its first submission (or return).
-	// The chain is empty (no round routed yet), so each first submission
-	// yields evSweep straight back to the runner.
 	for pid := range procs {
 		if s.runErr != nil {
 			break
 		}
 		s.state[pid] = stateRunning
 		s.alive++
-		tr := &Transport{pid: pid, seq: s}
-		proc := procs[pid]
-		go func(pid int) {
-			out, err := proc.Run(tr)
-			s.yield <- seqYield{pid: pid, kind: evDone, output: out, err: err}
-		}(pid)
-		if s.await(res) == awaitStop {
+		s.startProc(pid, procs[pid])
+		if s.resume(pid, res) == stepStop {
 			break
 		}
 	}
 
 	// Round loop: every live process is parked with a submission, so the
-	// barrier holds by construction — route, start the resume chain, and
-	// regain control once the chain has delivered to every participant.
+	// barrier holds by construction — route, then deliver to each waiting
+	// process in pid order, regaining control after each one's next
+	// submission. A process resumed mid-sweep re-submits at its own index,
+	// which the sweep has already passed, so it is never redelivered within
+	// the round.
 	for s.runErr == nil && s.alive > 0 {
 		if err := s.ctx.Err(); err != nil {
 			s.runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(s.ctx))
@@ -152,18 +170,19 @@ func (s *seqRunner) run(procs []Coroutine) (*Result, error) {
 			s.runErr = ErrMaxRounds
 			break
 		}
-		s.out, s.cursor = out, 0
-		if !s.advance() {
-			continue
+		stopped := false
+		for pid := 0; pid < s.n; pid++ {
+			if s.state[pid] != stateWaiting {
+				continue
+			}
+			s.state[pid] = stateRunning
+			s.inbox[pid] = out[pid]
+			if s.resume(pid, res) == stepStop {
+				stopped = true
+				break
+			}
 		}
-		// Chain running; control returns via evSweep (chain completed in a
-		// process) or evDone (a process returned; the runner relinks the
-		// chain itself, and owns control when it finds the chain finished).
-		ar := s.await(res)
-		for ar == awaitContinue {
-			ar = s.await(res)
-		}
-		if ar == awaitStop {
+		if stopped {
 			break
 		}
 	}
@@ -173,55 +192,11 @@ func (s *seqRunner) run(procs []Coroutine) (*Result, error) {
 	return res, s.runErr
 }
 
-// awaitResult tells the runner's round loop what to do after one yield.
-type awaitResult int
-
-const (
-	// awaitContinue: chain still running, park on yield again.
-	awaitContinue awaitResult = iota
-	// awaitRound: the round's chain is complete, go route the next round.
-	awaitRound
-	// awaitStop: stop condition or error; leave the round loop.
-	awaitStop
-)
-
-// await blocks until control returns to the runner, updates counters and
-// outputs for process completions, and classifies what happened.
-func (s *seqRunner) await(res *Result) awaitResult {
-	y := <-s.yield
-	switch y.kind {
-	case evSweep:
-		return awaitRound
-	case evDone:
-		s.state[y.pid] = stateDone
-		s.alive--
-		if y.err != nil && !errors.Is(y.err, ErrStopped) {
-			s.runErr = fmt.Errorf("engine: process %d: %w", y.pid, y.err)
-			return awaitStop
-		}
-		if y.err == nil {
-			res.Outputs[y.pid] = y.output
-		}
-		if s.cfg.StopWhen != nil && s.cfg.StopWhen(res.Outputs) {
-			return awaitStop
-		}
-		// The chain ended at this process; the runner relinks it. If
-		// nothing is left to deliver the runner owns control and the
-		// round is complete.
-		if !s.advance() {
-			return awaitRound
-		}
-		return awaitContinue
-	default:
-		panic(fmt.Sprintf("engine: unexpected yield kind %d", y.kind))
-	}
-}
-
-// unwind releases every parked process with a stop handoff and waits for
-// its goroutine to return; coroutines must return promptly on ErrStopped.
-// Outputs produced during the unwind (a process that completed rather than
-// propagate ErrStopped) are still collected, mirroring the concurrent
-// coordinator's shutdown drain.
+// unwind releases every parked process with a stop switch, which runs its
+// coroutine to completion synchronously; coroutines must return promptly on
+// ErrStopped. Outputs produced during the unwind (a process that completed
+// rather than propagate ErrStopped) are still collected, mirroring the
+// concurrent coordinator's shutdown drain.
 func (s *seqRunner) unwind(res *Result) {
 	s.stopping = true
 	for pid := range s.state {
@@ -230,10 +205,9 @@ func (s *seqRunner) unwind(res *Result) {
 		}
 		s.state[pid] = stateDone
 		s.alive--
-		s.resume[pid] <- seqResume{stop: true}
-		y := <-s.yield
-		if y.kind == evDone && y.err == nil {
-			res.Outputs[y.pid] = y.output
+		s.stop[pid]()
+		if d := s.done[pid]; d.finished && d.err == nil {
+			res.Outputs[pid] = d.output
 		}
 	}
 }

@@ -2,7 +2,6 @@ package historytree
 
 import (
 	"fmt"
-	"sort"
 
 	"anondyn/internal/dynnet"
 )
@@ -60,67 +59,78 @@ func Build(s dynnet.Schedule, inputs []Input, rounds int) (*Run, error) {
 	}
 
 	run := &Run{Tree: t, Rounds: rounds, Card: card}
-	run.NodeOf = append(run.NodeOf, append([]*Node(nil), cur...))
+	// NodeOf rows are never mutated after their round, so the working
+	// slice is stored directly rather than copied.
+	run.NodeOf = append(run.NodeOf, cur)
 
+	ref := newRefiner(n)
 	for round := 1; round <= rounds; round++ {
 		g := s.Graph(round)
 		if g.N() != n {
 			return nil, fmt.Errorf("historytree: schedule graph at round %d has %d processes, want %d",
 				round, g.N(), n)
 		}
-		next, err := refine(t, g, cur, &nextID, card)
+		next, err := ref.refine(t, g, cur, &nextID, card)
 		if err != nil {
 			return nil, err
 		}
 		cur = next
-		run.NodeOf = append(run.NodeOf, append([]*Node(nil), cur...))
+		run.NodeOf = append(run.NodeOf, cur)
 	}
 	return run, nil
 }
 
 // refine computes the next level: processes in the same class split
-// according to the multiset of classes (with multiplicities) they hear from.
-func refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[int]int) ([]*Node, error) {
+// according to the multiset of classes (with multiplicities) they hear
+// from. All per-round scratch (observation slices, the group table, the
+// stored group keys) lives on the refiner and is reused across rounds; the
+// only per-round allocation in steady state is the returned level slice.
+func (r *refiner) refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[int]int) ([]*Node, error) {
 	n := len(cur)
-	// obs[p] maps source-class node ID → number of messages received.
-	obs := make([]map[int]int, n)
 	for p := 0; p < n; p++ {
-		obs[p] = make(map[int]int)
+		r.obs[p] = r.obs[p][:0]
 	}
 	for _, l := range g.CanonicalLinks() {
 		if l.U == l.V {
-			obs[l.U][cur[l.U].ID] += l.Mult
+			r.obs[l.U] = append(r.obs[l.U], pair{cur[l.U].ID, l.Mult})
 			continue
 		}
-		obs[l.U][cur[l.V].ID] += l.Mult
-		obs[l.V][cur[l.U].ID] += l.Mult
+		r.obs[l.U] = append(r.obs[l.U], pair{cur[l.V].ID, l.Mult})
+		r.obs[l.V] = append(r.obs[l.V], pair{cur[l.U].ID, l.Mult})
 	}
 
-	// Group processes by (current class, canonical observation signature).
-	type key struct {
-		parent int
-		sig    string
-	}
-	groups := make(map[key]*Node)
+	// Group processes by (current class, canonical observation). The table
+	// is keyed by a collision-checked hash; the exact tuple is compared on
+	// every hit, so a collision costs one extra comparison, never a wrong
+	// merge. Process indices ascend, so node creation order is reproducible
+	// (and matches the seed implementation exactly).
+	r.gen++
+	r.keyArena = r.keyArena[:0]
 	next := make([]*Node, n)
-	// Deterministic iteration: process indices ascending, so node creation
-	// order is reproducible.
 	for p := 0; p < n; p++ {
-		k := key{parent: cur[p].ID, sig: signature(obs[p])}
-		node, ok := groups[k]
-		if !ok {
+		obs := canonPairs(r.obs[p])
+		r.obs[p] = obs
+		h := hashPairs(uint64(cur[p].ID), obs)
+		slot := r.lookup(h, cur[p], obs)
+		node := slot.node
+		if slot.gen != r.gen {
 			var err error
 			node, err = t.AddChild(*nextID, cur[p], Input{})
 			if err != nil {
 				return nil, err
 			}
 			*nextID++
-			for _, srcID := range sortedKeys(obs[p]) {
-				if err := t.AddRed(node, t.NodeByID(srcID), obs[p][srcID]); err != nil {
+			// obs is already sorted by source ID, matching the seed's
+			// sortedKeys insertion order.
+			for _, o := range obs {
+				if err := t.AddRed(node, t.NodeByID(o.id), o.mult); err != nil {
 					return nil, err
 				}
 			}
-			groups[k] = node
+			off := len(r.keyArena)
+			r.keyArena = append(r.keyArena, obs...)
+			key := r.keyArena[off:len(r.keyArena):len(r.keyArena)]
+			*slot = groupSlot{gen: r.gen, hash: h, parent: cur[p], pairs: key, node: node}
 		}
 		card[node.ID]++
 		next[p] = node
@@ -128,21 +138,16 @@ func refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[in
 	return next, nil
 }
 
-// signature canonically serializes an observation multiset.
-func signature(obs map[int]int) string {
-	keys := sortedKeys(obs)
-	b := make([]byte, 0, len(keys)*8)
-	for _, k := range keys {
-		b = append(b, fmt.Sprintf("%d:%d;", k, obs[k])...)
+// pairsEqual is slices.Equal specialized to pair; kept as a named function
+// so the refine hot loop stays readable.
+func pairsEqual(a, b []pair) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(b)
-}
-
-func sortedKeys(m map[int]int) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	sort.Ints(keys)
-	return keys
+	return true
 }

@@ -1,10 +1,16 @@
 package historytree
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"bytes"
+	"slices"
+
+	"anondyn/internal/ints"
 )
+
+// byteSpan addresses one substring of a scratch buffer by offsets, so
+// builders can grow the buffer (invalidating pointers but not offsets)
+// while names are under construction.
+type byteSpan struct{ start, end int32 }
 
 // CanonicalForm returns a string that identifies the tree up to
 // isomorphism of history trees (node IDs are ignored except for the level-0
@@ -18,47 +24,118 @@ import (
 // isomorphic exactly when the per-level multisets of colors coincide, which
 // is what the returned string encodes. Colors are re-compressed to short
 // canonical tokens after each level so the form stays linear in tree size.
+//
+// The output format is a public identity check (equivalence tests compare
+// it byte-for-byte across implementations), so the refinement runs on
+// integer color indices with token text rendered into reused byte buffers:
+// the string is identical to the seed's map[string]-based construction,
+// without its per-node string churn.
 func CanonicalForm(t *Tree) string {
-	colors := map[*Node]string{t.Root(): "r"}
-	var b strings.Builder
+	// colorIdx[v] is the rank of v's color within its own level; tokens
+	// holds the rendered token text of the previous level's colors, indexed
+	// by rank. The root is the sole color of the pseudo-level -1.
+	colorIdx := make(map[*Node]int32, t.NumNodes())
+	colorIdx[t.Root()] = 0
+	tokens := [][]byte{[]byte("r")}
+
+	var (
+		out      []byte
+		nameBuf  []byte     // concatenated names of the current level
+		spans    []byteSpan // per-node name extents in nameBuf
+		redBuf   []byte     // rendered red sub-strings of one node
+		redSpans []byteSpan
+		order    []int // node indices sorted by name
+		ranks    []int32
+		// Token text double buffer: level l's tokens are read while level
+		// l+1's are rendered, so the two levels alternate backing buffers.
+		tokenBufs [2][]byte
+	)
+	name := func(i int) []byte { return nameBuf[spans[i].start:spans[i].end] }
+
 	for l := 0; l <= t.Depth(); l++ {
 		level := t.Level(l)
-		names := make(map[*Node]string, len(level))
+		nameBuf = nameBuf[:0]
+		spans = spans[:0]
 		for _, v := range level {
+			start := int32(len(nameBuf))
+			nameBuf = append(nameBuf, '(')
+			nameBuf = append(nameBuf, tokens[colorIdx[v.Parent]]...)
 			if l == 0 {
-				names[v] = fmt.Sprintf("(%s|in=%s)", colors[v.Parent], v.Input)
-				continue
+				nameBuf = append(nameBuf, "|in="...)
+				nameBuf = v.Input.appendText(nameBuf)
+			} else {
+				nameBuf = append(nameBuf, '|')
+				redBuf = redBuf[:0]
+				redSpans = redSpans[:0]
+				for _, e := range v.Red {
+					rs := int32(len(redBuf))
+					redBuf = append(redBuf, tokens[colorIdx[e.Src]]...)
+					redBuf = append(redBuf, '*')
+					redBuf = ints.AppendInt(redBuf, e.Mult)
+					redSpans = append(redSpans, byteSpan{rs, int32(len(redBuf))})
+				}
+				// Lexicographic on the rendered text, matching the seed's
+				// sort.Strings over "token*mult" strings.
+				slices.SortFunc(redSpans, func(a, b byteSpan) int {
+					return bytes.Compare(redBuf[a.start:a.end], redBuf[b.start:b.end])
+				})
+				for i, sp := range redSpans {
+					if i > 0 {
+						nameBuf = append(nameBuf, ',')
+					}
+					nameBuf = append(nameBuf, redBuf[sp.start:sp.end]...)
+				}
 			}
-			reds := make([]string, 0, len(v.Red))
-			for _, e := range v.Red {
-				reds = append(reds, fmt.Sprintf("%s*%d", colors[e.Src], e.Mult))
-			}
-			sort.Strings(reds)
-			names[v] = fmt.Sprintf("(%s|%s)", colors[v.Parent], strings.Join(reds, ","))
+			nameBuf = append(nameBuf, ')')
+			spans = append(spans, byteSpan{start, int32(len(nameBuf))})
 		}
 
-		// Emit the per-level multiset of long names, then compress each
-		// distinct name to a canonical short token for the next level.
-		sorted := make([]string, 0, len(level))
-		for _, v := range level {
-			sorted = append(sorted, names[v])
+		// Emit the per-level multiset of long names in sorted order.
+		order = order[:0]
+		for i := range level {
+			order = append(order, i)
 		}
-		sort.Strings(sorted)
-		fmt.Fprintf(&b, "L%d:%s\n", l, strings.Join(sorted, " "))
+		slices.SortFunc(order, func(a, b int) int { return bytes.Compare(name(a), name(b)) })
+		out = append(out, 'L')
+		out = ints.AppendInt(out, l)
+		out = append(out, ':')
+		for k, i := range order {
+			if k > 0 {
+				out = append(out, ' ')
+			}
+			out = append(out, name(i)...)
+		}
+		out = append(out, '\n')
 
-		token := make(map[string]string, len(sorted))
-		rank := 0
-		for _, name := range sorted {
-			if _, ok := token[name]; !ok {
-				token[name] = fmt.Sprintf("c%d.%d", l, rank)
+		// Compress each distinct name to the canonical token c<level>.<rank>
+		// for the next level, ranks assigned in sorted-name order.
+		if cap(ranks) < len(level) {
+			ranks = make([]int32, len(level))
+		} else {
+			ranks = ranks[:len(level)]
+		}
+		tokBuf := tokenBufs[l&1][:0]
+		next := make([][]byte, 0, len(level))
+		rank := int32(-1)
+		for k, i := range order {
+			if k == 0 || !bytes.Equal(name(i), name(order[k-1])) {
 				rank++
+				ts := len(tokBuf)
+				tokBuf = append(tokBuf, 'c')
+				tokBuf = ints.AppendInt(tokBuf, l)
+				tokBuf = append(tokBuf, '.')
+				tokBuf = ints.AppendInt(tokBuf, int(rank))
+				next = append(next, tokBuf[ts:len(tokBuf):len(tokBuf)])
 			}
+			ranks[i] = rank
 		}
-		for _, v := range level {
-			colors[v] = token[names[v]]
+		for i, v := range level {
+			colorIdx[v] = ranks[i]
 		}
+		tokens = next
+		tokenBufs[l&1] = tokBuf
 	}
-	return b.String()
+	return string(out)
 }
 
 // Isomorphic reports whether two history trees are isomorphic (ignoring

@@ -1,0 +1,109 @@
+package historytree
+
+import "slices"
+
+// pair is one (source class ID, multiplicity) observation. Sorted pair
+// slices replace the map[int]int + string-signature representation of
+// observation multisets that the seed used for partition refinement: the
+// canonical form of a multiset is its pair slice sorted by ID with equal
+// IDs merged, compared directly instead of through a serialized string.
+type pair struct {
+	id   int
+	mult int
+}
+
+// canonPairs sorts s by ID and merges duplicate IDs by summing their
+// multiplicities, in place. It returns the (possibly shortened) slice.
+func canonPairs(s []pair) []pair {
+	if len(s) < 2 {
+		return s
+	}
+	slices.SortFunc(s, func(a, b pair) int { return a.id - b.id })
+	w := 0
+	for r := 1; r < len(s); r++ {
+		if s[r].id == s[w].id {
+			s[w].mult += s[r].mult
+		} else {
+			w++
+			s[w] = s[r]
+		}
+	}
+	return s[:w+1]
+}
+
+// hashPairs is FNV-1a over (seed, pairs). Collisions are tolerated: every
+// consumer keys a bucket table by the hash and compares the exact
+// (seed, pairs) tuple within the bucket, so a collision costs one extra
+// comparison, never a wrong merge.
+func hashPairs(seed uint64, s []pair) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ seed) * prime64
+	for _, p := range s {
+		h = (h ^ uint64(p.id)) * prime64
+		h = (h ^ uint64(p.mult)) * prime64
+	}
+	return h
+}
+
+// groupSlot is one open-addressing slot of the refiner's group table: the
+// parent class, the exact canonical observation (backing owned by
+// refiner.keyArena), and the child node allocated for the group. A slot is
+// live for the current round iff its generation matches the refiner's —
+// bumping the generation empties the whole table in O(1), with no
+// per-round clearing or bucket reallocation.
+type groupSlot struct {
+	gen    uint64
+	hash   uint64
+	parent *Node
+	pairs  []pair
+	node   *Node
+}
+
+// refiner holds the per-process scratch that refine reuses across rounds.
+// The seed allocated n fresh observation maps plus one signature string per
+// process every round; the refiner allocates only on first growth, leaving
+// the returned level slice as refine's only steady-state allocation.
+//
+// Validity windows: obs[p] and the live table slots are valid only until
+// the next refine call on the same refiner; keyArena backing may be
+// abandoned by growth mid-round, which is safe because stored slots keep
+// their old backing alive (stale slots pin at most one superseded backing
+// array each until overwritten).
+type refiner struct {
+	obs      [][]pair    // per-process observations, reset each round
+	slots    []groupSlot // power-of-two open-addressing group table
+	gen      uint64      // current round's slot generation
+	keyArena []pair      // backing for the pairs stored in slots
+}
+
+func newRefiner(n int) *refiner {
+	// At most n groups per round; 4× slots keep the load factor ≤ 1/4 so
+	// linear probes stay short even with clustered hashes.
+	size := 4
+	for size < 4*n {
+		size <<= 1
+	}
+	return &refiner{
+		obs:   make([][]pair, n),
+		slots: make([]groupSlot, size),
+	}
+}
+
+// lookup returns the slot holding (h, parent, obs) for the current round,
+// or the empty slot where that group should be inserted.
+func (r *refiner) lookup(h uint64, parent *Node, obs []pair) *groupSlot {
+	mask := uint64(len(r.slots) - 1)
+	for idx := h & mask; ; idx = (idx + 1) & mask {
+		s := &r.slots[idx]
+		if s.gen != r.gen {
+			return s
+		}
+		if s.hash == h && s.parent == parent && pairsEqual(s.pairs, obs) {
+			return s
+		}
+	}
+}

@@ -21,7 +21,9 @@ package historytree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"anondyn/internal/ints"
 )
 
 // RootID is the conventional ID of the root node (level -1), following
@@ -38,10 +40,16 @@ type Input struct {
 
 // String renders the input compactly, e.g. "L:0" or "7".
 func (in Input) String() string {
+	return string(in.appendText(make([]byte, 0, 8)))
+}
+
+// appendText appends String's rendering to dst; the hot-path form used by
+// the canonical-form builder.
+func (in Input) appendText(dst []byte) []byte {
 	if in.Leader {
-		return fmt.Sprintf("L:%d", in.Value)
+		dst = append(dst, 'L', ':')
 	}
-	return fmt.Sprintf("%d", in.Value)
+	return ints.AppendInt(dst, int(in.Value))
 }
 
 // RedEdge is a red multi-edge incident to a node v of level t: the class
@@ -62,11 +70,14 @@ type Node struct {
 	Level int
 	// Parent is the black-edge parent (nil for the root).
 	Parent *Node
-	// Children are the black-edge children, in insertion order.
+	// Children are the black-edge children, in insertion order. The backing
+	// array is carved from the tree's shared edge arenas; treat it as owned
+	// by the tree.
 	Children []*Node
 	// Input is the input labeling, meaningful for level-0 nodes only.
 	Input Input
-	// Red are the red edges towards level Level-1, in insertion order.
+	// Red are the red edges towards level Level-1, in insertion order. Like
+	// Children, the backing array belongs to the tree's arenas.
 	Red []RedEdge
 }
 
@@ -80,12 +91,38 @@ func (v *Node) RedMult(src *Node) int {
 	return 0
 }
 
+// Arena layout (see DESIGN.md decision 9). Nodes live in fixed-capacity
+// chunks that are appended to but never reallocated, so &chunk[i] is stable
+// for the lifetime of the tree and the public *Node surface is unchanged.
+// Children and Red slices are carved from shared backing arrays with a
+// small initial capacity; a slice that outgrows its carve is re-carved at
+// twice the capacity (the abandoned carve is waste, bounded by 2× overall).
+// byID is a flat slice indexed by ID+1 — protocol IDs are small dense
+// integers — replacing the seed's map[int]*Node on the hot lookup path.
+const (
+	nodeChunkSize = 64
+	edgeChunkSize = 256
+	edgeInitCap   = 4
+)
+
 // Tree is a history tree: a root plus a (finite prefix of the infinite)
 // sequence of levels.
 type Tree struct {
 	root   *Node
 	levels [][]*Node // levels[i] holds level i-1; levels[0] = {root}
-	byID   map[int]*Node
+
+	// byID[id+1] is the node with the given ID (RootID = -1 lands at
+	// index 0), nil when absent. The slice only ever grows; truncation
+	// nils entries in place.
+	byID     []*Node
+	numNodes int
+
+	// nodeArena holds the nodes themselves in pointer-stable chunks.
+	nodeArena [][]Node
+	// childArena and redArena back the nodes' Children and Red slices.
+	childArena [][]*Node
+	redArena   [][]RedEdge
+
 	// gen counts destructive truncations. Node IDs are reused after a
 	// protocol reset (the congested algorithm restores its fresh-ID counter
 	// from a snapshot), so incremental consumers such as Solver cannot rely
@@ -96,12 +133,73 @@ type Tree struct {
 
 // New returns a tree containing only the root node, with ID RootID.
 func New() *Tree {
-	root := &Node{ID: RootID, Level: -1}
-	return &Tree{
-		root:   root,
-		levels: [][]*Node{{root}},
-		byID:   map[int]*Node{RootID: root},
+	t := &Tree{}
+	root := t.newNode()
+	root.ID = RootID
+	root.Level = -1
+	t.root = root
+	t.levels = [][]*Node{{root}}
+	t.setByID(RootID, root)
+	t.numNodes = 1
+	return t
+}
+
+// newNode carves one zeroed node out of the arena.
+func (t *Tree) newNode() *Node {
+	if k := len(t.nodeArena); k == 0 || len(t.nodeArena[k-1]) == cap(t.nodeArena[k-1]) {
+		t.nodeArena = append(t.nodeArena, make([]Node, 0, nodeChunkSize))
 	}
+	chunk := &t.nodeArena[len(t.nodeArena)-1]
+	*chunk = append(*chunk, Node{})
+	return &(*chunk)[len(*chunk)-1]
+}
+
+// carve returns an empty slice with capacity c backed by the shared arena
+// behind *arena. Oversized requests fall back to a plain allocation.
+func carve[T any](arena *[][]T, c int) []T {
+	if c > edgeChunkSize {
+		return make([]T, 0, c)
+	}
+	k := len(*arena)
+	if k == 0 || cap((*arena)[k-1])-len((*arena)[k-1]) < c {
+		*arena = append(*arena, make([]T, 0, edgeChunkSize))
+		k++
+	}
+	chunk := (*arena)[k-1]
+	off := len(chunk)
+	(*arena)[k-1] = chunk[:off+c]
+	return chunk[off : off : off+c]
+}
+
+// appendEdge appends x to s, re-carving from the arena instead of letting
+// the runtime allocate when the carve is full.
+func appendEdge[T any](arena *[][]T, s []T, x T) []T {
+	if len(s) == cap(s) {
+		newCap := edgeInitCap
+		if c := cap(s); c > 0 {
+			newCap = 2 * c
+		}
+		grown := carve(arena, newCap)[:len(s)]
+		copy(grown, s)
+		s = grown
+	}
+	return append(s, x)
+}
+
+func (t *Tree) setByID(id int, v *Node) {
+	idx := id + 1
+	if idx >= len(t.byID) {
+		if idx >= cap(t.byID) {
+			grown := make([]*Node, idx+1, max(2*cap(t.byID), idx+1))
+			copy(grown, t.byID)
+			t.byID = grown
+		} else {
+			// The region between len and cap is zeroed: len never
+			// shrinks, and growth copies zero-fill the tail.
+			t.byID = t.byID[:idx+1]
+		}
+	}
+	t.byID[idx] = v
 }
 
 // Root returns the root node.
@@ -122,19 +220,29 @@ func (t *Tree) Level(i int) []*Node {
 }
 
 // NodeByID returns the node with the given ID, or nil.
-func (t *Tree) NodeByID(id int) *Node { return t.byID[id] }
+func (t *Tree) NodeByID(id int) *Node {
+	idx := id + 1
+	if idx < 0 || idx >= len(t.byID) {
+		return nil
+	}
+	return t.byID[idx]
+}
 
 // NumNodes returns the total number of nodes including the root.
-func (t *Tree) NumNodes() int { return len(t.byID) }
+func (t *Tree) NumNodes() int { return t.numNodes }
 
 // AddChild creates a new node with the given ID as a child of parent.
 // The child's level is parent.Level+1; a new level is materialized if
-// needed. IDs must be unique; levels may only grow one at a time.
+// needed. IDs must be unique (and ≥ RootID); levels may only grow one at a
+// time.
 func (t *Tree) AddChild(id int, parent *Node, input Input) (*Node, error) {
 	if parent == nil {
 		return nil, fmt.Errorf("historytree: nil parent for node %d", id)
 	}
-	if _, dup := t.byID[id]; dup {
+	if id < RootID {
+		return nil, fmt.Errorf("historytree: node ID %d below RootID", id)
+	}
+	if t.NodeByID(id) != nil {
 		return nil, fmt.Errorf("historytree: duplicate node ID %d", id)
 	}
 	level := parent.Level + 1
@@ -143,13 +251,18 @@ func (t *Tree) AddChild(id int, parent *Node, input Input) (*Node, error) {
 		return nil, fmt.Errorf("historytree: node %d at level %d but deepest level is %d",
 			id, level, t.Depth())
 	}
-	node := &Node{ID: id, Level: level, Parent: parent, Input: input}
-	parent.Children = append(parent.Children, node)
+	node := t.newNode()
+	node.ID = id
+	node.Level = level
+	node.Parent = parent
+	node.Input = input
+	parent.Children = appendEdge(&t.childArena, parent.Children, node)
 	if idx == len(t.levels) {
 		t.levels = append(t.levels, nil)
 	}
 	t.levels[idx] = append(t.levels[idx], node)
-	t.byID[id] = node
+	t.setByID(id, node)
+	t.numNodes++
 	return node, nil
 }
 
@@ -171,7 +284,7 @@ func (t *Tree) AddRed(v, src *Node, mult int) error {
 			return nil
 		}
 	}
-	v.Red = append(v.Red, RedEdge{Src: src, Mult: mult})
+	v.Red = appendEdge(&t.redArena, v.Red, RedEdge{Src: src, Mult: mult})
 	return nil
 }
 
@@ -181,6 +294,8 @@ func (t *Tree) Generation() uint64 { return t.gen }
 
 // TruncateLevels removes all levels ≥ from (from ≥ 0), deleting the nodes
 // and any edges incident to them. It implements the reset of Listing 6.
+// Arena space held by the removed nodes is not reclaimed until the tree
+// itself is released (Clone produces a compact copy).
 func (t *Tree) TruncateLevels(from int) {
 	idx := from + 1
 	if idx < 1 {
@@ -192,7 +307,8 @@ func (t *Tree) TruncateLevels(from int) {
 	t.gen++
 	for _, level := range t.levels[idx:] {
 		for _, node := range level {
-			delete(t.byID, node.ID)
+			t.byID[node.ID+1] = nil
+			t.numNodes--
 		}
 	}
 	t.levels = t.levels[:idx]
@@ -248,7 +364,7 @@ func (t *Tree) Clone() *Tree {
 // levels, red edge levels and positivity, and ID uniqueness. It returns the
 // first violation found.
 func (t *Tree) Validate() error {
-	seen := make(map[int]bool, len(t.byID))
+	seen := make(map[int]bool, t.numNodes)
 	for l := -1; l <= t.Depth(); l++ {
 		for _, v := range t.Level(l) {
 			if v.Level != l {
@@ -258,6 +374,9 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("historytree: duplicate ID %d", v.ID)
 			}
 			seen[v.ID] = true
+			if t.NodeByID(v.ID) != v {
+				return fmt.Errorf("historytree: node %d not indexed by ID", v.ID)
+			}
 			if l == -1 {
 				if v.Parent != nil {
 					return fmt.Errorf("historytree: root has a parent")
@@ -277,8 +396,8 @@ func (t *Tree) Validate() error {
 			}
 		}
 	}
-	if len(seen) != len(t.byID) {
-		return fmt.Errorf("historytree: byID has %d entries, levels have %d", len(t.byID), len(seen))
+	if len(seen) != t.numNodes {
+		return fmt.Errorf("historytree: node count is %d, levels have %d", t.numNodes, len(seen))
 	}
 	return nil
 }
@@ -288,6 +407,6 @@ func (t *Tree) Validate() error {
 func sortedRedKeys(v *Node) []RedEdge {
 	out := make([]RedEdge, len(v.Red))
 	copy(out, v.Red)
-	sort.Slice(out, func(i, j int) bool { return out[i].Src.ID < out[j].Src.ID })
+	slices.SortFunc(out, func(a, b RedEdge) int { return a.Src.ID - b.Src.ID })
 	return out
 }

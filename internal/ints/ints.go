@@ -1,0 +1,42 @@
+// Package ints holds the small integer-map and integer-formatting helpers
+// shared by the history-tree, protocol, and reporting layers. It replaces
+// the per-package copies of "sorted keys of a map[int]int" that used to
+// live in historytree, core, and the reporting code, and offers
+// strconv-based append formatting for hot paths that previously paid for
+// fmt.Sprintf.
+package ints
+
+import (
+	"slices"
+	"strconv"
+)
+
+// SortedKeys returns the keys of m in ascending order. The result is a
+// fresh slice; use AppendSortedKeys with a reused buffer on hot paths.
+func SortedKeys[V any](m map[int]V) []int {
+	return AppendSortedKeys(make([]int, 0, len(m)), m)
+}
+
+// AppendSortedKeys appends the keys of m to buf in ascending order and
+// returns the extended slice. Only the appended region is sorted, so buf
+// is usually buf[:0] of a scratch slice.
+func AppendSortedKeys[V any](buf []int, m map[int]V) []int {
+	start := len(buf)
+	for k := range m {
+		buf = append(buf, k)
+	}
+	slices.Sort(buf[start:])
+	return buf
+}
+
+// AppendInt appends the decimal form of v to dst, like
+// strconv.AppendInt(dst, int64(v), 10) without the call-site noise.
+func AppendInt(dst []byte, v int) []byte {
+	return strconv.AppendInt(dst, int64(v), 10)
+}
+
+// Itoa is strconv.Itoa; re-exported so hot-path call sites that already
+// import this package for AppendInt don't also need strconv.
+func Itoa(v int) string {
+	return strconv.Itoa(v)
+}

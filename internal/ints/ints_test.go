@@ -1,0 +1,47 @@
+package ints
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	if got := SortedKeys(map[int]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+	if got := SortedKeys(map[int]bool{2: true, 1: false}); !slices.Equal(got, []int{1, 2}) {
+		t.Fatalf("SortedKeys over map[int]bool = %v", got)
+	}
+	m := map[int]int{5: 1, -2: 7, 0: 3, 11: 2}
+	want := []int{-2, 0, 5, 11}
+	if got := SortedKeys(m); !slices.Equal(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+}
+
+func TestAppendSortedKeysReusesBuffer(t *testing.T) {
+	buf := make([]int, 0, 8)
+	m := map[int]int{3: 1, 1: 1, 2: 1}
+	got := AppendSortedKeys(buf[:0], m)
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("AppendSortedKeys = %v", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendSortedKeys did not reuse the buffer backing array")
+	}
+	// A prefilled prefix must be preserved and left unsorted.
+	got = AppendSortedKeys([]int{9}, m)
+	if !slices.Equal(got, []int{9, 1, 2, 3}) {
+		t.Fatalf("AppendSortedKeys with prefix = %v", got)
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	b := AppendInt([]byte("x="), -42)
+	if string(b) != "x=-42" {
+		t.Fatalf("AppendInt = %q", b)
+	}
+	if Itoa(7) != "7" {
+		t.Fatal("Itoa(7) != 7")
+	}
+}

@@ -52,7 +52,7 @@ func (l *Logger) observe(round int, sent []engine.Message) {
 	haveTop := false
 	unknown := 0
 	for _, raw := range sent {
-		m, ok := raw.(wire.Message)
+		m, ok := wire.FromBox(raw)
 		if !ok {
 			unknown++
 			continue

@@ -67,7 +67,7 @@ func TestSummaryTotalsAndResetTimeline(t *testing.T) {
 	chained := func(round int, sent []engine.Message) {
 		indepRounds = round
 		for _, raw := range sent {
-			if m, ok := raw.(wire.Message); ok {
+			if m, ok := wire.FromBox(raw); ok {
 				indep[m.Label]++
 			}
 		}

@@ -92,6 +92,34 @@ type Message struct {
 	Ext string
 }
 
+// Equal reports a == b, spelled out field by field so the comparison
+// inlines at simulation hot-path call sites. The string field keeps the
+// compiler from reducing whole-struct equality to a memequal, so the plain
+// == operator compiles to a call of the generated equality function —
+// measurable when priority broadcast compares every delivery against the
+// held message each round. Integer fields are checked first: they decide
+// almost every unequal pair, and for equal pairs Ext is nearly always
+// empty, making the string comparison a pair of zero-length checks.
+func Equal(a, b Message) bool {
+	return a.Label == b.Label && a.A == b.A && a.B == b.B && a.C == b.C &&
+		a.Ext == b.Ext
+}
+
+// FromBox extracts a Message from an engine delivery box. The simulation
+// boxes *Message pointers — a direct-interface type, so the assert is a
+// pointer load instead of a 48-byte struct copy — but stub transports in
+// tests and external engine users may still deliver value boxes, so both
+// forms are accepted.
+func FromBox(box any) (Message, bool) {
+	switch m := box.(type) {
+	case *Message:
+		return *m, true
+	case Message:
+		return m, true
+	}
+	return Message{}, false
+}
+
 // EdgePair is one batched observation: the pair (ID2, Mult) of an ObsList
 // entry.
 type EdgePair struct {
