@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchsmoke benchcmp gobench profile
+.PHONY: check vet build test race bench benchsmoke benchcmp gobench profile fuzz
 
 # The tier-1 gate plus the race detector and a bench compile smoke — run
 # before every commit.
@@ -22,6 +22,16 @@ race:
 # code cannot rot between perf PRs.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Native fuzzing smoke: each target gets FUZZTIME of coverage-guided
+# input generation on top of its checked-in testdata/fuzz corpus (which
+# alone is replayed by plain `go test`). New crashers are written under
+# testdata/fuzz/<Target>/ — check them in as regressions.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzMessageCodec$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzRandomConnectedSchedule$$' -fuzztime=$(FUZZTIME) ./internal/dynnet
+	$(GO) test -run='^$$' -fuzz='^FuzzFaultPlan$$' -fuzztime=$(FUZZTIME) ./internal/faults
 
 # Run the benchmark-regression suite and record BENCH_PR4.json (see
 # EXPERIMENTS.md, "Perf appendix").

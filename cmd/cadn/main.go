@@ -10,6 +10,8 @@
 //	go run ./cmd/cadn -n 6 -T 4                    # 4-union-connected network
 //	go run ./cmd/cadn -n 6 -leaderless -inputs 0,0,1,1,1,2
 //	go run ./cmd/cadn -n 8 -halt                   # simultaneous termination
+//	go run ./cmd/cadn -n 6 -topology complete -faults spike:8:0   # reset-forcing fault plan
+//	go run ./cmd/cadn -n 6 -faults crash:0:3:0 -deadline 500      # out-of-model, watchdog-guarded
 //
 // Flag combinations are validated up front; invalid usage exits with
 // status 2, runtime failures with status 1. The same parameter surface is
@@ -58,12 +60,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		eager      = fs.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
 		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
 		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution) or concurrent")
+		faultsFlag = fs.String("faults", "", "fault plan layered over the adversary, e.g. spike:8:0 or cut:3:20,storm:1:0:2 (see internal/faults)")
+		faultSeed  = fs.Int64("faultseed", 0, "fault-plan RNG seed (only the drop fault consumes it)")
+		deadline   = fs.Int("deadline", 0, "watchdog deadline in milliseconds (0 = off; required for out-of-model fault plans)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
-		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler)
+		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler,
+		*faultsFlag, *faultSeed, *deadline)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
 		return 2
@@ -79,7 +85,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 // Any error it returns is a usage error (exit status 2).
 func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
-	fine bool, batch int, keepAll, eager bool, scheduler string) (service.JobSpec, error) {
+	fine bool, batch int, keepAll, eager bool, scheduler string,
+	faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
 		Topology:   topology,
@@ -94,6 +101,9 @@ func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 		KeepAll:    keepAll,
 		Eager:      eager,
 		Scheduler:  scheduler,
+		Faults:     faultsSpec,
+		FaultSeed:  faultSeed,
+		DeadlineMS: deadlineMS,
 	}
 	if inputsFlag != "" {
 		parts := strings.Split(inputsFlag, ",")

@@ -77,6 +77,18 @@ func TestRunVariants(t *testing.T) {
 				s.Seed = 5
 			})
 		}},
+		{name: "faulted-in-model", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 5, "random", func(s *service.JobSpec) {
+				s.Faults = "cut:3:20,storm:1:0:2"
+				s.Density = 0.4
+				s.Seed = 6
+			})
+		}},
+		{name: "faulted-isolator", spec: func(t *testing.T) service.JobSpec {
+			return specFor(t, 5, "isolator", func(s *service.JobSpec) {
+				s.Faults = "storm:1:0:2"
+			})
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -121,6 +133,9 @@ func TestValidateFlagCombinations(t *testing.T) {
 		fine       bool
 		batch      int
 		scheduler  string
+		faults     string
+		faultSeed  int64
+		deadlineMS int
 	}
 	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential"}
 	tests := []struct {
@@ -147,13 +162,24 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{name: "inputs-count-mismatch", mut: func(a *args) { a.inputs = "1,2" }, wantErr: "input values"},
 		{name: "inputs-not-numeric", mut: func(a *args) { a.inputs = "a,b,c,d" }, wantErr: "-inputs value"},
 		{name: "unknown-scheduler", mut: func(a *args) { a.scheduler = "parallel" }, wantErr: "unknown scheduler"},
+		{name: "malformed-faults", mut: func(a *args) { a.faults = "spike:1" }, wantErr: "invalid fault plan"},
+		{name: "unknown-fault", mut: func(a *args) { a.faults = "meteor:1:0" }, wantErr: "unknown fault"},
+		{name: "crash-pid-out-of-range", mut: func(a *args) { a.faults = "crash:9:1:0"; a.deadlineMS = 100 },
+			wantErr: "invalid fault plan"},
+		{name: "out-of-model-without-deadline", mut: func(a *args) { a.faults = "drop:1:0:0.5" },
+			wantErr: "out-of-model"},
+		{name: "negative-deadline", mut: func(a *args) { a.deadlineMS = -5 }, wantErr: "deadlineMS"},
+		{name: "in-model-without-deadline-ok", mut: func(a *args) { a.faults = "spike:8:0" }, wantErr: ""},
+		{name: "out-of-model-with-deadline-ok", mut: func(a *args) { a.faults = "crash:0:3:0"; a.deadlineMS = 200 },
+			wantErr: ""},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			a := ok
 			tt.mut(&a)
 			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
-				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler)
+				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler,
+				a.faults, a.faultSeed, a.deadlineMS)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -184,6 +210,9 @@ func TestExitCodes(t *testing.T) {
 		{name: "leaderless-without-inputs", args: []string{"-n", "4", "-leaderless"}, want: 2},
 		{name: "negative-batch", args: []string{"-n", "4", "-batch", "-1"}, want: 2},
 		{name: "runtime-bitlimit", args: []string{"-n", "4", "-bitlimit", "8"}, want: 1},
+		{name: "usage-out-of-model-no-deadline", args: []string{"-n", "4", "-faults", "drop:1:0:1"}, want: 2},
+		{name: "runtime-watchdog", args: []string{"-n", "4", "-topology", "complete",
+			"-faults", "crash:0:2:0", "-deadline", "150"}, want: 1},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -83,6 +84,58 @@ func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
 		}
 	}
 	return missing
+}
+
+// TestEveryCadnFlagIsDocumented parses cmd/cadn/main.go for flag
+// registrations (fs.Int("name", ...) and friends) and asserts the README
+// mentions every flag as `-name` — so CLI knobs cannot be added without
+// surfacing them in the user-facing docs. The -faults/-deadline pair in
+// particular carries a usage contract (out-of-model plans require a
+// deadline) that only the README explains.
+func TestEveryCadnFlagIsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join("cmd", "cadn", "main.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 3 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Int", "Int64", "Bool", "String", "Float64", "Duration":
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err == nil && name != "" {
+			flags = append(flags, name)
+		}
+		return true
+	})
+	if len(flags) < 10 {
+		t.Fatalf("found only %d cadn flags — the parser is broken: %v", len(flags), flags)
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readme)
+	for _, name := range flags {
+		if !strings.Contains(text, "-"+name) {
+			t.Errorf("cmd/cadn flag -%s is not mentioned in README.md", name)
+		}
+	}
 }
 
 // isExemptMethod exempts interface-compliance boilerplate whose meaning is

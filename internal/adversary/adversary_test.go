@@ -3,8 +3,10 @@ package adversary
 import (
 	"testing"
 
+	"anondyn/internal/check"
 	"anondyn/internal/core"
 	"anondyn/internal/engine"
+	"anondyn/internal/historytree"
 	"anondyn/internal/wire"
 )
 
@@ -87,5 +89,53 @@ func TestIsolatorWithFineGrainedResets(t *testing.T) {
 	}
 	if res.N != n {
 		t.Fatalf("counted %d", res.N)
+	}
+}
+
+func TestDiamSpikerServesCompleteUntilContentFlows(t *testing.T) {
+	a := NewDiamSpiker(5)
+	// Control traffic (Null, Begin) must not trigger the spike.
+	g := a.Graph(1, []engine.Message{wire.Null(), wire.Begin(0), nil})
+	if g.LinkCount() != 5*4/2 {
+		t.Fatalf("pre-spike graph should be complete, got %d links", g.LinkCount())
+	}
+	// The first Edge in flight flips the adversary permanently.
+	g = a.Graph(2, []engine.Message{wire.Edge(1, 2, 1)})
+	if g.LinkCount() == 5*4/2 {
+		t.Fatal("adversary did not spike on Edge traffic")
+	}
+	for round := 3; round <= 6; round++ {
+		g := a.Graph(round, nil)
+		if !g.Connected() {
+			t.Fatalf("round %d: spiked graph disconnected", round)
+		}
+		if g.LinkCount() != 4 {
+			t.Fatalf("round %d: spiked graph is not a path (%d links)", round, g.LinkCount())
+		}
+	}
+}
+
+func TestDiamSpikerForcesResetAndStillCounts(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		inputs := make([]historytree.Input, n)
+		inputs[0].Leader = true
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+		checker := check.New(inputs)
+		checker.Attach(&cfg)
+		res, err := core.RunAdaptive(NewDiamSpiker(n), inputs, cfg, core.RunOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.N != n {
+			t.Fatalf("n=%d: counted %d", n, res.N)
+		}
+		if res.Stats.Resets < 1 {
+			t.Fatalf("n=%d: the spike never fired the reset machinery", n)
+		}
+		if err := checker.Verify(res); err != nil {
+			t.Fatalf("n=%d: invariant checker: %v", n, err)
+		}
+		t.Logf("n=%d: rounds=%d resets=%d finalDiam=%d",
+			n, res.Stats.Rounds, res.Stats.Resets, res.Stats.FinalDiamEstimate)
 	}
 }

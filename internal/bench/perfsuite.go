@@ -9,6 +9,7 @@ import (
 	"anondyn/internal/core"
 	"anondyn/internal/dynnet"
 	"anondyn/internal/engine"
+	"anondyn/internal/faults"
 	"anondyn/internal/historytree"
 )
 
@@ -32,6 +33,12 @@ func PerfSuite() []NamedBench {
 		// The n=24 point records how the history-tree/VHT layer scales,
 		// not just the E2 sweep's largest published point.
 		{Name: "E2Count/n=24", Bench: e2Bench(24, false)},
+		// The fault sweep records what in-model faults cost: the spike
+		// drives the error/reset machinery (more rounds, same answer), the
+		// storm multiplies delivered links (more per-round work). They
+		// regression-guard the faults.Schedule wrapper's own overhead too.
+		{Name: "E2CountFaultSpike/n=12", Bench: e2FaultBench(12, "spike:8:0")},
+		{Name: "E2CountFaultStorm/n=12", Bench: e2FaultBench(12, "storm:1:0:3")},
 		{Name: "E2SolverReplayFromScratch/n=12", Bench: e2SolverReplayBench(12, false)},
 		{Name: "E2SolverReplayIncremental/n=12", Bench: e2SolverReplayBench(12, true)},
 		{Name: "E4RedEdges/n=10", Bench: e4Bench(10)},
@@ -109,6 +116,29 @@ func e2Bench(n int, fromScratch bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		s := dynnet.NewRandomConnected(n, 0.3, 1)
 		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6, FromScratchCount: fromScratch}
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.N != n {
+				b.Fatalf("counted %d, want %d", res.N, n)
+			}
+		}
+	}
+}
+
+// e2FaultBench is the E2 run under an in-model fault plan: same schedule
+// and config as e2Bench, with the plan layered over the adversary. The
+// answer must stay exact — faults may only cost rounds.
+func e2FaultBench(n int, planSpec string) func(b *testing.B) {
+	return func(b *testing.B) {
+		plan, err := faults.Parse(planSpec, 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := plan.Wrap(dynnet.NewRandomConnected(n, 0.3, 1))
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
 		for i := 0; i < b.N; i++ {
 			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
 			if err != nil {

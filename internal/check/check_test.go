@@ -1,0 +1,138 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"anondyn/internal/check"
+	"anondyn/internal/core"
+	"anondyn/internal/dynnet"
+	"anondyn/internal/historytree"
+)
+
+func leaderIn(n int) []historytree.Input {
+	in := make([]historytree.Input, n)
+	in[0].Leader = true
+	return in
+}
+
+func TestCheckerPassesCleanLeaderRun(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		inputs := leaderIn(n)
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+		c := check.New(inputs)
+		c.Attach(&cfg)
+		if c.Recorder() == nil || cfg.Recorder != c.Recorder() {
+			t.Fatal("Attach did not install the checker's recorder")
+		}
+		res, err := core.Run(dynnet.NewRandomConnected(n, 0.5, int64(n)), inputs, cfg, core.RunOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := c.Verify(res); err != nil {
+			t.Fatalf("n=%d: clean run flagged: %v", n, err)
+		}
+	}
+}
+
+func TestCheckerPassesCleanLeaderlessRun(t *testing.T) {
+	n := 6
+	inputs := make([]historytree.Input, n)
+	for i := range inputs {
+		inputs[i].Value = int64(i % 3)
+	}
+	cfg := core.Config{Mode: core.ModeLeaderless, DiamBound: n, MaxLevels: 3*n + 8}
+	c := check.New(inputs)
+	c.Attach(&cfg)
+	res, err := core.Run(dynnet.NewRandomConnected(n, 0.5, 2), inputs, cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(res); err != nil {
+		t.Fatalf("clean leaderless run flagged: %v", err)
+	}
+}
+
+func TestCheckerPassesCleanGeneralizedRun(t *testing.T) {
+	inputs := []historytree.Input{
+		{Leader: true}, {Value: 3}, {Value: 3}, {Value: 7},
+	}
+	n := len(inputs)
+	cfg := core.Config{Mode: core.ModeLeader, BuildInputLevel: true, MaxLevels: 3*n + 8}
+	c := check.New(inputs)
+	c.Attach(&cfg)
+	res, err := core.Run(dynnet.NewRandomConnected(n, 0.5, 4), inputs, cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(res); err != nil {
+		t.Fatalf("clean generalized run flagged: %v", err)
+	}
+}
+
+func TestCheckerFlagsNonDoublingReset(t *testing.T) {
+	c := check.New(leaderIn(8))
+	c.ObserveReset(4)
+	if err := c.Err(); err != nil {
+		t.Fatalf("first reset flagged spuriously: %v", err)
+	}
+	c.ObserveReset(6) // 4 → 6 is not a doubling
+	err := c.Err()
+	if err == nil {
+		t.Fatal("non-doubling reset not flagged")
+	}
+	if !strings.Contains(err.Error(), "doubling") {
+		t.Fatalf("violation message %q does not name the doubling rule", err)
+	}
+}
+
+func TestCheckerFlagsEstimateBeyondFourN(t *testing.T) {
+	c := check.New(leaderIn(2)) // 4n = 8
+	for _, d := range []int{2, 4, 8, 16} {
+		c.ObserveReset(d)
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("estimate 16 > 4n = 8 not flagged")
+	}
+	if !strings.Contains(err.Error(), "4.7") {
+		t.Fatalf("violation message %q does not cite Lemma 4.7", err)
+	}
+}
+
+func TestCheckerFlagsBackwardsRoundsAndBadIDs(t *testing.T) {
+	c := check.New(leaderIn(4))
+	c.ObserveBeginRound(10)
+	c.ObserveBeginRound(5)
+	if err := c.Err(); err == nil {
+		t.Fatal("backwards level-begin rounds not flagged")
+	}
+	c2 := check.New(leaderIn(4))
+	c2.ObserveLevelDone(1, 9, 0) // pid 9 on a 4-process run
+	if err := c2.Err(); err == nil {
+		t.Fatal("out-of-range process not flagged")
+	}
+}
+
+func TestCheckerFlagsWrongAnswer(t *testing.T) {
+	n := 5
+	inputs := leaderIn(n)
+	cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+	c := check.New(inputs)
+	c.Attach(&cfg)
+	res, err := core.Run(dynnet.NewRandomConnected(n, 0.5, 6), inputs, cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.N++ // doctor the count
+	if err := c.Verify(res); err == nil {
+		t.Fatal("checker accepted a doctored count")
+	}
+}
+
+func TestVerifyRequiresAttach(t *testing.T) {
+	c := check.New(leaderIn(3))
+	if err := c.Verify(&core.RunResult{N: 3}); err == nil {
+		t.Fatal("Verify on an unattached checker must fail")
+	}
+}

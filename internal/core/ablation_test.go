@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"testing"
+	"testing/quick"
 
 	"anondyn/internal/dynnet"
 	"anondyn/internal/historytree"
@@ -158,6 +159,69 @@ func TestBatchedRunsMatchUnbatchedCount(t *testing.T) {
 		if a.N != b.N {
 			t.Fatalf("seed=%d: unbatched %d vs batched %d", seed, a.N, b.N)
 		}
+	}
+}
+
+// TestQuickFineGrainedResetAblation is the property-based ablation of the
+// fine-grained reset optimisation: over random (n, topology, seed,
+// generalized?) draws, a run with FineGrainedReset on must produce exactly
+// the Result of the same run with it off — same count, same multiset. The
+// optimisation may only change *when* resets rewind, never *what* the
+// protocol computes.
+func TestQuickFineGrainedResetAblation(t *testing.T) {
+	prop := func(nRaw uint8, seed int64, topoRaw uint8, generalized bool) bool {
+		n := 2 + int(nRaw)%8 // [2, 9]
+		var s dynnet.Schedule
+		switch topoRaw % 3 {
+		case 0:
+			s = dynnet.NewRandomConnected(n, 0.4, seed)
+		case 1:
+			s = dynnet.NewShiftingPath(n) // diameter Θ(n): reset-heavy
+		default:
+			s = dynnet.NewStatic(dynnet.Path(n))
+		}
+		inputs := leaderInputs(n)
+		if generalized {
+			for i := 1; i < n; i++ {
+				inputs[i].Value = int64(i % 3)
+			}
+		}
+		run := func(fine bool) *RunResult {
+			cfg := Config{
+				Mode:             ModeLeader,
+				BuildInputLevel:  generalized,
+				FineGrainedReset: fine,
+				MaxLevels:        3*n + 8,
+			}
+			res, err := Run(s, inputs, cfg, RunOptions{})
+			if err != nil {
+				t.Logf("n=%d seed=%d topo=%d gen=%v fine=%v: %v", n, seed, topoRaw%3, generalized, fine, err)
+				return nil
+			}
+			return res
+		}
+		coarse, fine := run(false), run(true)
+		if coarse == nil || fine == nil {
+			return false
+		}
+		if coarse.N != fine.N {
+			t.Logf("n=%d seed=%d: coarse counted %d, fine counted %d", n, seed, coarse.N, fine.N)
+			return false
+		}
+		if len(coarse.Multiset) != len(fine.Multiset) {
+			t.Logf("n=%d seed=%d: multiset class counts differ: %v vs %v", n, seed, coarse.Multiset, fine.Multiset)
+			return false
+		}
+		for in, cnt := range coarse.Multiset {
+			if fine.Multiset[in] != cnt {
+				t.Logf("n=%d seed=%d: multiset[%v]: %d vs %d", n, seed, in, cnt, fine.Multiset[in])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
 	}
 }
 

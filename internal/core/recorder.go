@@ -22,6 +22,38 @@ type Recorder struct {
 	beginRounds    []int
 	idsAtLevel     map[int]map[int]int // level → pid → ID when the level finished
 	diamHistory    []int
+
+	obs RecorderObserver
+}
+
+// RecorderObserver receives instrumentation events live, as the run
+// produces them, so external checkers (internal/check) can validate
+// invariants round by round rather than only post-hoc. Observers are
+// invoked outside the recorder's lock — from whichever goroutine produced
+// the event — so implementations must do their own synchronization, and
+// may safely call back into the recorder's accessors.
+type RecorderObserver interface {
+	// ObserveReset fires when the leader initiates a reset phase; newDiam
+	// is the doubled diameter estimate the reset announces.
+	ObserveReset(newDiam int)
+	// ObserveBeginRound fires when the recording process notes a level's
+	// begin round (a real round number).
+	ObserveBeginRound(round int)
+	// ObserveLevelDone fires when process pid finishes a VHT level holding
+	// temporary ID id.
+	ObserveLevelDone(level, pid, id int)
+}
+
+// SetObserver attaches an observer for live events (nil detaches). Events
+// recorded before the observer was attached are not replayed; attach
+// before the run starts.
+func (r *Recorder) SetObserver(o RecorderObserver) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
 }
 
 // NewRecorder returns an empty recorder.
@@ -34,9 +66,13 @@ func (r *Recorder) noteReset(newDiam int) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.resets++
 	r.diamHistory = append(r.diamHistory, newDiam)
+	obs := r.obs
+	r.mu.Unlock()
+	if obs != nil {
+		obs.ObserveReset(newDiam)
+	}
 }
 
 func (r *Recorder) noteAccepted(label acceptKind) {
@@ -60,8 +96,12 @@ func (r *Recorder) noteBeginRound(round int) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.beginRounds = append(r.beginRounds, round)
+	obs := r.obs
+	r.mu.Unlock()
+	if obs != nil {
+		obs.ObserveBeginRound(round)
+	}
 }
 
 func (r *Recorder) noteLevelDone(level, pid, id int) {
@@ -69,13 +109,17 @@ func (r *Recorder) noteLevelDone(level, pid, id int) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.idsAtLevel[level] == nil {
 		r.idsAtLevel[level] = make(map[int]int)
 	}
 	r.idsAtLevel[level][pid] = id
 	if level+1 > r.levelsBuilt {
 		r.levelsBuilt = level + 1
+	}
+	obs := r.obs
+	r.mu.Unlock()
+	if obs != nil {
+		obs.ObserveLevelDone(level, pid, id)
 	}
 }
 

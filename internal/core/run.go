@@ -65,6 +65,11 @@ type RunOptions struct {
 	// MaxRounds caps the run; 0 derives a generous default from n and the
 	// configuration (≈ 400·T·n³·log n real rounds plus slack).
 	MaxRounds int
+	// Deadline, when positive, arms the engine watchdog: a run still
+	// active after this wall-clock duration is stopped with a structured
+	// *engine.WatchdogError (errors.Is engine.ErrWatchdog) instead of
+	// hanging. Zero means no watchdog. See engine.Config.Deadline.
+	Deadline time.Duration
 	// BitLimit, when positive, aborts the run if any message exceeds it
 	// (congestion enforcement).
 	BitLimit int
@@ -116,6 +121,7 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 	if ecfg.MaxRounds <= 0 {
 		ecfg.MaxRounds = defaultMaxRounds(n, cfg)
 	}
+	ecfg.Deadline = opts.Deadline
 	ecfg.SizeOf = newSizeMemo()
 	ecfg.BitLimit = opts.BitLimit
 	ecfg.Trace = opts.Trace

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"anondyn/internal/dynnet"
 )
@@ -145,6 +146,13 @@ type Config struct {
 	// MaxRounds caps the run; when exceeded, Run cancels the processes and
 	// returns ErrMaxRounds. It must be positive.
 	MaxRounds int
+	// Deadline, when positive, bounds the run's wall-clock time: once it
+	// has elapsed the runner stops the processes at its next scheduling
+	// point and reports a *WatchdogError (errors.Is ErrWatchdog). This is
+	// the engine's watchdog — it turns hangs caused by out-of-model faults
+	// or unsatisfiable stop conditions into structured failures. Zero
+	// means no deadline.
+	Deadline time.Duration
 	// SizeOf measures a message in bits for congestion accounting. If nil,
 	// sizes are not tracked and BitLimit is ignored. It is always invoked
 	// from the runner's own goroutine, never concurrently.
@@ -232,6 +240,7 @@ func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, er
 		s := &seqRunner{
 			cfg:     cfg,
 			ctx:     ctx,
+			wd:      newWatchdog(cfg.Deadline),
 			n:       n,
 			rt:      newRouter(&cfg, n),
 			state:   make([]procState, n),
@@ -247,6 +256,7 @@ func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, er
 	c := &coordinator{
 		cfg:    cfg,
 		ctx:    ctx,
+		wd:     newWatchdog(cfg.Deadline),
 		n:      n,
 		rt:     newRouter(&cfg, n),
 		events: make(chan event),
@@ -286,6 +296,7 @@ const (
 type coordinator struct {
 	cfg    Config
 	ctx    context.Context
+	wd     watchdog
 	n      int
 	rt     *router
 	events chan event
@@ -378,10 +389,23 @@ func (c *coordinator) run(procs []Coroutine) (*Result, error) {
 	// O(n) census scan (O(n²) coordinator work per round).
 	alive, waiting := c.n, 0
 
+	// The watchdog is observed both per event-loop iteration and, via the
+	// timer channel, while blocked waiting for submissions — a wedged
+	// coroutine (one that never submits again) would otherwise hang the
+	// select forever.
+	wdTimer, wdC := c.wd.timer()
+	if wdTimer != nil {
+		defer wdTimer.Stop()
+	}
+
 loop:
 	for {
 		if err := c.ctx.Err(); err != nil {
 			runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(c.ctx))
+			break
+		}
+		if err := c.wd.check(c.rt.round); err != nil {
+			runErr = err
 			break
 		}
 		if alive == 0 {
@@ -406,6 +430,9 @@ loop:
 		var ev event
 		select {
 		case ev = <-c.events:
+		case <-wdC:
+			runErr = c.wd.fail(c.rt.round)
+			break loop
 		case <-c.ctx.Done():
 			runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(c.ctx))
 			break loop

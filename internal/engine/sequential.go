@@ -46,6 +46,7 @@ const (
 type seqRunner struct {
 	cfg     Config
 	ctx     context.Context
+	wd      watchdog
 	n       int
 	rt      *router
 	state   []procState
@@ -156,6 +157,10 @@ func (s *seqRunner) run(procs []Coroutine) (*Result, error) {
 	for s.runErr == nil && s.alive > 0 {
 		if err := s.ctx.Err(); err != nil {
 			s.runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(s.ctx))
+			break
+		}
+		if err := s.wd.check(s.rt.round); err != nil {
+			s.runErr = err
 			break
 		}
 		out, err := s.rt.route(s.state, s.pending, res)

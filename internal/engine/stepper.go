@@ -70,6 +70,7 @@ func RunSteppersContext(ctx context.Context, cfg Config, steppers []Stepper) (*R
 	}
 
 	rt := newRouter(&cfg, n)
+	wd := newWatchdog(cfg.Deadline)
 	state := make([]procState, n)
 	pending := make([]Message, n)
 	res := &Result{Outputs: make(map[int]any)}
@@ -82,6 +83,10 @@ func RunSteppersContext(ctx context.Context, cfg Config, steppers []Stepper) (*R
 		if err := ctx.Err(); err != nil {
 			res.Rounds = rt.round
 			return res, fmt.Errorf("engine: run cancelled: %w", context.Cause(ctx))
+		}
+		if err := wd.check(rt.round); err != nil {
+			res.Rounds = rt.round
+			return res, err
 		}
 		// Done is checked before every round (the FromStepper contract), so
 		// a stepper that is done immediately never communicates.

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Plan from its compact textual form: a comma-separated
+// list of fault entries with colon-separated integer (or, for P, float)
+// fields. The grammar, with ROUNDS ≤ 0 meaning "until the end of the
+// run":
+//
+//	burst:FROM:ROUNDS        in-model disconnection burst (budgetT ≥ 2)
+//	spike:FROM:ROUNDS        in-model diameter spike (shifting path)
+//	cut:FROM:ROUNDS          in-model bottleneck (two bridged cliques)
+//	storm:FROM:ROUNDS:FACTOR in-model duplication storm (×FACTOR links)
+//	drop:FROM:ROUNDS:P       OUT-OF-MODEL link drop with probability P
+//	crash:PID:FROM:ROUNDS    OUT-OF-MODEL process crash (links severed)
+//
+// For example "spike:7:40,storm:1:0:3" spikes the diameter for rounds
+// 7–46 and triples every link for the whole run. An empty spec yields an
+// empty (fault-free) plan. Plan.String round-trips through Parse.
+func Parse(spec string, budgetT int, seed int64) (*Plan, error) {
+	var fs []Fault
+	if s := strings.TrimSpace(spec); s != "" {
+		for _, entry := range strings.Split(s, ",") {
+			f, err := parseEntry(strings.TrimSpace(entry))
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+	}
+	return NewPlan(seed, budgetT, fs...)
+}
+
+func parseEntry(entry string) (Fault, error) {
+	parts := strings.Split(entry, ":")
+	name := parts[0]
+	args := parts[1:]
+	ints := func(want int) ([]int, error) {
+		if len(args) != want {
+			return nil, fmt.Errorf("faults: %q needs %d fields, got %d", name, want, len(args))
+		}
+		out := make([]int, want)
+		for i, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil {
+				return nil, fmt.Errorf("faults: %q field %d: %v", name, i+1, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case burstName:
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return DisconnectBurst{From: v[0], Rounds: v[1]}, nil
+	case spikeName:
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return DiamSpike{From: v[0], Rounds: v[1]}, nil
+	case cutName:
+		v, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return BottleneckCut{From: v[0], Rounds: v[1]}, nil
+	case stormName:
+		v, err := ints(3)
+		if err != nil {
+			return nil, err
+		}
+		return DuplicationStorm{From: v[0], Rounds: v[1], Factor: v[2]}, nil
+	case dropName:
+		if len(args) != 3 {
+			return nil, fmt.Errorf("faults: %q needs 3 fields, got %d", name, len(args))
+		}
+		from, err1 := strconv.Atoi(args[0])
+		rounds, err2 := strconv.Atoi(args[1])
+		p, err3 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("faults: malformed %q entry %q", name, entry)
+		}
+		return LinkDrop{From: from, Rounds: rounds, P: p}, nil
+	case crashName:
+		v, err := ints(3)
+		if err != nil {
+			return nil, err
+		}
+		return CrashRestart{PID: v[0], From: v[1], Rounds: v[2]}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown fault %q (want burst, spike, cut, storm, drop, or crash)", name)
+	}
+}

@@ -382,6 +382,15 @@ func (m *Manager) runJob(job *Job) {
 		if job.finish(JobCancelled, nil, "cancelled") {
 			m.Metrics.JobsCancelled.Add(1)
 		}
+	case errors.Is(err, engine.ErrWatchdog):
+		// The job's own deadline fired: the spec's fault plan wedged the
+		// run. This is a structured failure (the spec promised an answer
+		// within DeadlineMS and the protocol could not deliver one), not a
+		// cancellation — the error text carries the rounds/limit detail.
+		if job.finish(JobFailed, nil, err.Error()) {
+			m.Metrics.JobsFailed.Add(1)
+			m.Metrics.JobsDeadlined.Add(1)
+		}
 	default:
 		if job.finish(JobFailed, nil, err.Error()) {
 			m.Metrics.JobsFailed.Add(1)

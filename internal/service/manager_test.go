@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 )
@@ -143,4 +144,59 @@ func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	t.Cleanup(cancel)
 	return ctx
+}
+
+// TestManagerWatchdogJobFailsStructured is the service half of the
+// out-of-model fault contract: a job whose fault plan wedges the
+// simulation must terminate as JobFailed with the watchdog's structured
+// error — within its own deadline, without tying up the worker — and be
+// counted by the JobsDeadlined metric. It must never be cached.
+func TestManagerWatchdogJobFailsStructured(t *testing.T) {
+	m := NewManager(1, 8, 8)
+	defer func() { _ = m.Shutdown(contextWithTimeout(t, 30*time.Second)) }()
+
+	wedged := JobSpec{
+		N:          5,
+		Topology:   "complete",
+		Halt:       true,
+		Faults:     "drop:1:0:1",
+		DeadlineMS: 150,
+		MaxRounds:  1 << 30,
+	}
+	job, err := m.Submit(wedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := WaitTerminal(job, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobFailed {
+		t.Fatalf("state %s, want failed (error %q)", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "watchdog") {
+		t.Fatalf("error %q does not carry the watchdog detail", st.Error)
+	}
+	if got := m.Metrics.JobsDeadlined.Load(); got != 1 {
+		t.Fatalf("jobsDeadlined=%d, want 1", got)
+	}
+	if got := m.Metrics.JobsFailed.Load(); got != 1 {
+		t.Fatalf("jobsFailed=%d, want 1", got)
+	}
+	// Failures are not cached: resubmitting simulates again (and fails
+	// again) instead of replaying a bogus cached result.
+	again, err := m.Submit(wedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("a failed run must not populate the result cache")
+	}
+	st2, err := WaitTerminal(again, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != JobFailed {
+		t.Fatalf("resubmitted state %s, want failed", st2.State)
+	}
 }

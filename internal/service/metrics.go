@@ -16,6 +16,9 @@ type Metrics struct {
 	JobsCancelled atomic.Int64
 	// JobsFailed counts jobs whose simulation returned an error.
 	JobsFailed atomic.Int64
+	// JobsDeadlined counts the subset of failed jobs ended by the engine
+	// watchdog (a wedged run under out-of-model faults hit its deadline).
+	JobsDeadlined atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
@@ -35,6 +38,7 @@ type MetricsSnapshot struct {
 	JobsCompleted   int64 `json:"jobsCompleted"`
 	JobsCancelled   int64 `json:"jobsCancelled"`
 	JobsFailed      int64 `json:"jobsFailed"`
+	JobsDeadlined   int64 `json:"jobsDeadlined"`
 	CacheHits       int64 `json:"cacheHits"`
 	CacheMisses     int64 `json:"cacheMisses"`
 	RoundsSimulated int64 `json:"roundsSimulated"`
@@ -49,6 +53,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		JobsCompleted:   m.JobsCompleted.Load(),
 		JobsCancelled:   m.JobsCancelled.Load(),
 		JobsFailed:      m.JobsFailed.Load(),
+		JobsDeadlined:   m.JobsDeadlined.Load(),
 		CacheHits:       m.CacheHits.Load(),
 		CacheMisses:     m.CacheMisses.Load(),
 		RoundsSimulated: m.RoundsSimulated.Load(),

@@ -21,11 +21,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
+	"time"
 
 	"anondyn/internal/adversary"
 	"anondyn/internal/core"
 	"anondyn/internal/dynnet"
 	"anondyn/internal/engine"
+	"anondyn/internal/faults"
 	"anondyn/internal/historytree"
 )
 
@@ -74,6 +77,19 @@ type JobSpec struct {
 	// them as the same simulation), so this is a performance/debugging
 	// knob, not a semantic one.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Faults is a fault-plan spec layered over the adversary (see
+	// internal/faults.Parse for the grammar, e.g. "spike:8:0"). Empty
+	// means fault-free. Out-of-model plans (drop, crash) require a
+	// deadline, since the protocol's termination guarantee no longer
+	// applies under them.
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed seeds the fault plan's RNG (only LinkDrop consumes it).
+	FaultSeed int64 `json:"faultSeed,omitempty"`
+	// DeadlineMS arms the engine watchdog: a run still going after this
+	// many milliseconds of wall clock terminates with a structured
+	// watchdog error. 0 disarms it (fault-free and in-model runs always
+	// terminate on their own).
+	DeadlineMS int `json:"deadlineMS,omitempty"`
 }
 
 // Normalize fills defaulted fields in place so that equivalent specs hash
@@ -96,6 +112,10 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.Scheduler == "sequential" {
 		s.Scheduler = "" // the default, spelled out
+	}
+	s.Faults = strings.TrimSpace(s.Faults)
+	if s.Faults == "" {
+		s.FaultSeed = 0 // meaningless without a plan; keep the hash stable
 	}
 }
 
@@ -135,6 +155,21 @@ func (s JobSpec) Validate() error {
 	if len(s.Inputs) > 0 && len(s.Inputs) != s.N {
 		return fmt.Errorf("%d input values for %d processes", len(s.Inputs), s.N)
 	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("deadlineMS must be non-negative, got %d", s.DeadlineMS)
+	}
+	if s.Faults != "" {
+		plan, err := faults.Parse(s.Faults, s.BlockT, s.FaultSeed)
+		if err != nil {
+			return fmt.Errorf("invalid fault plan: %w", err)
+		}
+		if err := plan.ValidateFor(s.N); err != nil {
+			return fmt.Errorf("invalid fault plan: %w", err)
+		}
+		if !plan.InModel() && s.DeadlineMS == 0 {
+			return fmt.Errorf("fault plan %q is out-of-model (termination no longer guaranteed); set deadlineMS", s.Faults)
+		}
+	}
 	if s.Leaderless {
 		if len(s.Inputs) == 0 {
 			return fmt.Errorf("leaderless mode requires per-process inputs")
@@ -164,6 +199,11 @@ func (s JobSpec) Hash() string {
 	// Both schedulers produce identical results (the engine's equivalence
 	// contract), so the choice must not fragment the result cache.
 	s.Scheduler = ""
+	// The deadline only decides when a non-terminating run is abandoned;
+	// completed results are independent of it, and failed runs are never
+	// cached, so it must not fragment the cache either. Faults and
+	// FaultSeed DO shape the simulation and stay in the hash.
+	s.DeadlineMS = 0
 	// encoding/json marshals struct fields in declaration order, which is
 	// stable; inputs are a slice, also stable. A round-trip through a map
 	// would lose that, so marshal the struct directly.
@@ -254,17 +294,33 @@ func (s JobSpec) Run(ctx context.Context, traceHook func(round int, sent []engin
 		Ctx:       ctx,
 		MaxRounds: s.MaxRounds,
 		BitLimit:  s.BitLimit,
+		Deadline:  time.Duration(s.DeadlineMS) * time.Millisecond,
 		Trace:     traceHook,
 	}
 	if s.Scheduler == "concurrent" {
 		opts.Scheduler = engine.SchedulerConcurrent
 	}
+	var plan *faults.Plan
+	if s.Faults != "" {
+		var err error
+		plan, err = faults.Parse(s.Faults, s.BlockT, s.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if s.Topology == "isolator" {
-		return core.RunAdaptive(adversary.NewIsolator(s.N, 0), s.inputs(), s.config(), opts)
+		var adv engine.AdaptiveSchedule = adversary.NewIsolator(s.N, 0)
+		if plan != nil {
+			adv = plan.WrapAdaptive(adv)
+		}
+		return core.RunAdaptive(adv, s.inputs(), s.config(), opts)
 	}
 	sched, err := s.schedule()
 	if err != nil {
 		return nil, err
+	}
+	if plan != nil {
+		sched = plan.Wrap(sched)
 	}
 	return core.Run(sched, s.inputs(), s.config(), opts)
 }

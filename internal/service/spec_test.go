@@ -5,6 +5,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
+
+	"anondyn/internal/engine"
 )
 
 func TestSpecNormalizeDefaults(t *testing.T) {
@@ -37,17 +40,32 @@ func TestSpecHashCanonical(t *testing.T) {
 	// Anything that changes the simulation changes the hash.
 	base := JobSpec{N: 5, Seed: 1}
 	for name, other := range map[string]JobSpec{
-		"n":      {N: 6, Seed: 1},
-		"seed":   {N: 5, Seed: 2},
-		"topo":   {N: 5, Seed: 1, Topology: "cycle"},
-		"halt":   {N: 5, Seed: 1, Halt: true},
-		"fine":   {N: 5, Seed: 1, Fine: true},
-		"batch":  {N: 5, Seed: 1, Batch: 3},
-		"inputs": {N: 5, Seed: 1, Inputs: []int64{1, 2, 3, 4, 5}},
+		"n":         {N: 6, Seed: 1},
+		"seed":      {N: 5, Seed: 2},
+		"topo":      {N: 5, Seed: 1, Topology: "cycle"},
+		"halt":      {N: 5, Seed: 1, Halt: true},
+		"fine":      {N: 5, Seed: 1, Fine: true},
+		"batch":     {N: 5, Seed: 1, Batch: 3},
+		"inputs":    {N: 5, Seed: 1, Inputs: []int64{1, 2, 3, 4, 5}},
+		"faults":    {N: 5, Seed: 1, Faults: "spike:8:0"},
+		"faultseed": {N: 5, Seed: 1, Faults: "drop:1:0:0.5", FaultSeed: 2, DeadlineMS: 100},
 	} {
 		if base.Hash() == other.Hash() {
 			t.Errorf("%s: distinct specs hash equal", name)
 		}
+	}
+	// The deadline decides when a wedged run is abandoned, never what a
+	// completed run returns, so it must not fragment the result cache.
+	d1 := JobSpec{N: 5, Seed: 1, Faults: "spike:8:0"}
+	d2 := JobSpec{N: 5, Seed: 1, Faults: "spike:8:0", DeadlineMS: 500}
+	if d1.Hash() != d2.Hash() {
+		t.Error("deadlineMS must not affect the hash")
+	}
+	// A fault seed without a fault plan is inert and is normalized away.
+	f1 := JobSpec{N: 5, Seed: 1}
+	f2 := JobSpec{N: 5, Seed: 1, FaultSeed: 42}
+	if f1.Hash() != f2.Hash() {
+		t.Error("faultSeed without a plan must not affect the hash")
 	}
 }
 
@@ -74,6 +92,10 @@ func TestSpecValidate(t *testing.T) {
 		{name: "leaderless-fine", spec: JobSpec{N: 2, Leaderless: true, Inputs: []int64{1, 2}, Fine: true}, want: "fine-grained"},
 		{name: "leaderless-isolator", spec: JobSpec{N: 2, Leaderless: true, Inputs: []int64{1, 2}, Topology: "isolator"}, want: "isolator"},
 		{name: "isolator-unionT", spec: JobSpec{N: 4, Topology: "isolator", BlockT: 2}, want: "isolator"},
+		{name: "malformed-faults", spec: JobSpec{N: 4, Faults: "spike:1"}, want: "invalid fault plan"},
+		{name: "crash-pid-beyond-n", spec: JobSpec{N: 4, Faults: "crash:7:1:0", DeadlineMS: 100}, want: "invalid fault plan"},
+		{name: "out-of-model-no-deadline", spec: JobSpec{N: 4, Faults: "crash:0:3:0"}, want: "out-of-model"},
+		{name: "negative-deadline", spec: JobSpec{N: 4, DeadlineMS: -1}, want: "deadlineMS"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -135,5 +157,49 @@ func TestSpecRunCancelled(t *testing.T) {
 func TestSpecRunInvalid(t *testing.T) {
 	if _, err := (JobSpec{N: -1}).Run(context.Background(), nil); err == nil {
 		t.Fatal("invalid spec must not run")
+	}
+}
+
+func TestSpecRunInModelFaultsStillCount(t *testing.T) {
+	clean := JobSpec{N: 6, Seed: 3}
+	faulted := JobSpec{N: 6, Seed: 3, Faults: "cut:3:20,storm:1:0:2"}
+	r1, err := clean.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := faulted.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.N != 6 || r2.N != 6 {
+		t.Fatalf("clean counted %d, faulted counted %d, want 6", r1.N, r2.N)
+	}
+	if clean.Hash() == faulted.Hash() {
+		t.Fatal("a faulted spec must not share the clean spec's cache key")
+	}
+}
+
+func TestSpecRunWatchdogStructuredFailure(t *testing.T) {
+	// An out-of-model plan that wedges the run: every link dropped under
+	// simultaneous halt, so the leader halts alone and the rest can never
+	// learn the final round. The spec-level deadline must surface as a
+	// structured engine watchdog error, not a hang.
+	spec := JobSpec{
+		N:         5,
+		Topology:  "complete",
+		Halt:      true,
+		Faults:    "drop:1:0:1",
+		FaultSeed: 1,
+
+		DeadlineMS: 150,
+		MaxRounds:  1 << 30,
+	}
+	start := time.Now()
+	_, err := spec.Run(context.Background(), nil)
+	if !errors.Is(err, engine.ErrWatchdog) {
+		t.Fatalf("got %v, want ErrWatchdog", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog needed %v", elapsed)
 	}
 }

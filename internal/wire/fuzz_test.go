@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMessageCodec round-trips arbitrary byte strings through the wire
+// codec: any buffer Decode accepts must re-encode to exactly the bytes it
+// consumed, decode back to an equal message, and report a consistent
+// SizeBits. Buffers Decode rejects must never panic.
+func FuzzMessageCodec(f *testing.F) {
+	// Seed with one well-formed encoding per label plus a batched edge.
+	seeds := []Message{
+		Null(),
+		Begin(0),
+		End(),
+		Done(7),
+		Edge(1, 2, 3),
+		Error(4),
+		Reset(3, 100, 8),
+		Input(5, -9, true),
+		Halt(5, 10),
+	}
+	if batch, err := EdgeBatch(1, []EdgePair{{2, 1}, {3, 2}}); err == nil {
+		seeds = append(seeds, batch)
+	}
+	for _, m := range seeds {
+		buf, err := m.Encode(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})                  // empty buffer
+	f.Add([]byte{0xff})              // unknown label
+	f.Add([]byte{5, 0x80})           // truncated varint
+	f.Add([]byte{10, 2, 4, 2, 0x7f}) // batch length beyond buffer
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, consumed, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if consumed <= 0 || consumed > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", consumed, len(data))
+		}
+		re, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded message %v does not re-encode: %v", m, err)
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encoding drifted: %x → %v → %x", data[:consumed], m, re)
+		}
+		m2, consumed2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decoding %x: %v", re, err)
+		}
+		if !Equal(m, m2) || consumed2 != len(re) {
+			t.Fatalf("codec not a bijection: %v vs %v", m, m2)
+		}
+		if got := SizeBits(m); got != 8*len(re) {
+			t.Fatalf("SizeBits(%v) = %d, encoding is %d bits", m, got, 8*len(re))
+		}
+		if m.Label != LabelEdgeBatch {
+			if pairs, err := m.ExtPairs(); err != nil || pairs != nil {
+				t.Fatalf("non-batch message %v has ext pairs %v (err %v)", m, pairs, err)
+			}
+		} else if _, err := m.ExtPairs(); err != nil {
+			t.Fatalf("decoded batch %v has undecodable ext: %v", m, err)
+		}
+	})
+}

@@ -279,6 +279,13 @@ func Decode(buf []byte) (Message, int, error) {
 		if n <= 0 {
 			return Message{}, 0, fmt.Errorf("wire: truncated parameter %d of %s", i, m.Label)
 		}
+		// Reject non-minimal varints: stdlib Varint tolerates padded
+		// encodings (e.g. "ff 00" for -64), which would give one message
+		// two wire forms and break the codec bijection SizeBits accounting
+		// relies on (found by FuzzMessageCodec).
+		if ux := uint64(v)<<1 ^ uint64(v>>63); n != uvarintLen(ux) {
+			return Message{}, 0, fmt.Errorf("wire: non-canonical parameter %d of %s", i, m.Label)
+		}
 		*params[i] = v
 		off += n
 	}
@@ -287,14 +294,50 @@ func Decode(buf []byte) (Message, int, error) {
 		if n <= 0 {
 			return Message{}, 0, fmt.Errorf("wire: truncated batch length")
 		}
+		if n != uvarintLen(extLen) {
+			return Message{}, 0, fmt.Errorf("wire: non-canonical batch length")
+		}
 		off += n
 		if uint64(len(buf[off:])) < extLen {
 			return Message{}, 0, fmt.Errorf("wire: truncated batch payload")
 		}
 		m.Ext = string(buf[off : off+int(extLen)])
 		off += int(extLen)
+		// A batch whose payload is not a whole number of (ID2, Mult)
+		// varint pairs would decode "successfully" yet be uninterpretable
+		// by ExtPairs; reject it here so Decode acceptance implies a fully
+		// readable message (found by FuzzMessageCodec).
+		if err := validExt(m.Ext); err != nil {
+			return Message{}, 0, err
+		}
 	}
 	return m, off, nil
+}
+
+// uvarintLen returns the length of the minimal uvarint encoding of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// validExt scans a batch payload and verifies it is a whole number of
+// varint pairs, without allocating the pair slice ExtPairs builds.
+func validExt(ext string) error {
+	buf := []byte(ext)
+	for len(buf) > 0 {
+		for _, field := range [2]string{"ID2", "Mult"} {
+			_, k := binary.Varint(buf)
+			if k <= 0 {
+				return fmt.Errorf("wire: truncated batch %s", field)
+			}
+			buf = buf[k:]
+		}
+	}
+	return nil
 }
 
 // SizeBits returns the exact encoded size of m in bits. Unknown labels
