@@ -1,17 +1,30 @@
 // Command cadnd is the counting-simulation daemon: a long-running HTTP/JSON
 // service that accepts simulation jobs (the same parameter surface as
 // cmd/cadn), runs them on a bounded worker pool, deduplicates identical
-// deterministic runs through an LRU result cache, and streams per-round
-// progress.
+// deterministic runs through an LRU result cache backed by an optional
+// persistent content-addressed store, and streams per-round progress.
 //
 // Start it and talk to it with curl:
 //
-//	cadnd -addr 127.0.0.1:8080 &
+//	cadnd -addr 127.0.0.1:8080 -store /var/lib/cadnd &
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"n":8,"seed":1}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -sN localhost:8080/v1/jobs/job-000001/events   # NDJSON stream
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001 # cancel
 //	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/v1/healthz
+//
+// With -coordinator the same binary becomes the cluster tier instead: it
+// shards specs across a fleet of backend cadnd daemons by content hash
+// (consistent hashing), health-checks them, fails jobs over to the next
+// replica behind per-backend circuit breakers, and streams aggregated
+// sweep progress:
+//
+//	cadnd -addr :8081 &                  # backend 1
+//	cadnd -addr :8082 &                  # backend 2
+//	cadnd -coordinator -addr :8080 -backends 127.0.0.1:8081,127.0.0.1:8082 &
+//	curl -sN -X POST localhost:8080/v1/sweep \
+//	    -d '{"specs":[{"n":8,"seed":1},{"n":8,"seed":2}]}'
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // jobs drain, and only after -drain elapses are in-flight simulations
@@ -26,28 +39,44 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"anondyn/internal/cluster"
 	"anondyn/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation workers")
-		cache   = flag.Int("cache", 256, "result-cache capacity (entries; 0 disables)")
-		queue   = flag.Int("queue", 1024, "job-queue capacity")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent simulation workers")
+		cache    = flag.Int("cache", 256, "result-cache capacity (entries; 0 disables)")
+		queue    = flag.Int("queue", 1024, "job-queue capacity")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		storeDir = flag.String("store", "", "persistent result-store directory (empty disables; results then live only in memory)")
+
+		coordinator = flag.Bool("coordinator", false, "run as cluster coordinator instead of a simulation backend")
+		backends    = flag.String("backends", "", "comma-separated backend addresses (coordinator mode; required)")
+		replicas    = flag.Int("replicas", 2, "failover-chain length per spec (coordinator mode)")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring (coordinator mode)")
+		inflight    = flag.Int("inflight", 64, "max concurrently executing jobs across the fleet (coordinator mode)")
+		probe       = flag.Duration("probe", 2*time.Second, "backend health-probe interval (coordinator mode)")
 	)
 	flag.Parse()
-	if err := serve(*addr, *workers, *cache, *queue, *drain); err != nil {
+	var err error
+	if *coordinator {
+		err = serveCoordinator(*addr, *backends, *replicas, *vnodes, *inflight, *probe, *drain)
+	} else {
+		err = serve(*addr, *workers, *cache, *queue, *storeDir, *drain)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cadnd:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr string, workers, cache, queue int, drain time.Duration) error {
+func serve(addr string, workers, cache, queue int, storeDir string, drain time.Duration) error {
 	cacheCap := cache
 	if cacheCap == 0 {
 		cacheCap = -1 // ServerConfig treats 0 as "default", negative as off
@@ -57,20 +86,59 @@ func serve(addr string, workers, cache, queue int, drain time.Duration) error {
 		Workers:   workers,
 		CacheSize: cacheCap,
 		QueueSize: queue,
+		StoreDir:  storeDir,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("cadnd: serving on http://%s (%d workers, cache %d, queue %d)",
-		srv.Addr(), workers, cache, queue)
+	log.Printf("cadnd: serving on http://%s (%d workers, cache %d, queue %d, store %q)",
+		srv.Addr(), workers, cache, queue, storeDir)
 	return serveOn(srv, drain)
+}
+
+func serveCoordinator(addr, backendList string, replicas, vnodes, inflight int, probe, drain time.Duration) error {
+	var names []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			names = append(names, b)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("coordinator mode needs -backends")
+	}
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Backends:      names,
+		Replicas:      replicas,
+		VirtualNodes:  vnodes,
+		MaxInFlight:   inflight,
+		ProbeInterval: probe,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := cluster.NewServer(cluster.ServerConfig{Addr: addr, Coordinator: coord})
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	log.Printf("cadnd: coordinating %d backends on http://%s (replicas %d, inflight %d)",
+		len(names), srv.Addr(), replicas, inflight)
+	return serveOn(srv, drain)
+}
+
+// daemon is the common shape of both serving modes: the backend
+// service.Server and the cluster.Server.
+type daemon interface {
+	Serve() error
+	Shutdown(ctx context.Context) error
 }
 
 // serveOn runs an already-bound server until a termination signal arrives,
 // then shuts it down gracefully within the drain budget.
-func serveOn(srv *service.Server, drain time.Duration) error {
+func serveOn(srv daemon, drain time.Duration) error {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 

@@ -86,15 +86,43 @@ func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
 	return missing
 }
 
-// TestEveryCadnFlagIsDocumented parses cmd/cadn/main.go for flag
-// registrations (fs.Int("name", ...) and friends) and asserts the README
-// mentions every flag as `-name` — so CLI knobs cannot be added without
-// surfacing them in the user-facing docs. The -faults/-deadline pair in
-// particular carries a usage contract (out-of-model plans require a
-// deadline) that only the README explains.
-func TestEveryCadnFlagIsDocumented(t *testing.T) {
+// TestEveryCliFlagIsDocumented parses the user-facing commands (cmd/cadn
+// and cmd/cadnd) for flag registrations (fs.Int("name", ...) and friends)
+// and asserts the README mentions every flag as `-name` — so CLI knobs
+// cannot be added without surfacing them in the user-facing docs. The
+// -faults/-deadline pair in particular carries a usage contract
+// (out-of-model plans require a deadline) that only the README explains,
+// and the cadnd coordinator flags carry the cluster-mode topology.
+func TestEveryCliFlagIsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readme)
+	for _, cmd := range []struct {
+		path     string
+		minFlags int
+	}{
+		{filepath.Join("cmd", "cadn", "main.go"), 10},
+		{filepath.Join("cmd", "cadnd", "main.go"), 8},
+	} {
+		flags := parseFlagNames(t, cmd.path)
+		if len(flags) < cmd.minFlags {
+			t.Fatalf("found only %d flags in %s — the parser is broken: %v", len(flags), cmd.path, flags)
+		}
+		for _, name := range flags {
+			if !strings.Contains(text, "-"+name) {
+				t.Errorf("%s flag -%s is not mentioned in README.md", cmd.path, name)
+			}
+		}
+	}
+}
+
+// parseFlagNames extracts the registered flag names from one main.go.
+func parseFlagNames(t *testing.T, path string) []string {
+	t.Helper()
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, filepath.Join("cmd", "cadn", "main.go"), nil, 0)
+	file, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,19 +151,7 @@ func TestEveryCadnFlagIsDocumented(t *testing.T) {
 		}
 		return true
 	})
-	if len(flags) < 10 {
-		t.Fatalf("found only %d cadn flags — the parser is broken: %v", len(flags), flags)
-	}
-	readme, err := os.ReadFile("README.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(readme)
-	for _, name := range flags {
-		if !strings.Contains(text, "-"+name) {
-			t.Errorf("cmd/cadn flag -%s is not mentioned in README.md", name)
-		}
-	}
+	return flags
 }
 
 // isExemptMethod exempts interface-compliance boilerplate whose meaning is

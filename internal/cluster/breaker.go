@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker. Consecutive failures at or
+// above the threshold open the circuit for a cooldown; after the cooldown
+// one probe attempt is allowed through (half-open) and its outcome closes
+// or re-opens the circuit. The zero value is not usable; use newBreaker.
+//
+// The breaker is the single health gate for a backend: the coordinator's
+// periodic /v1/healthz probes and the per-job transport outcomes both
+// feed it, so a backend found dead by either signal stops receiving jobs
+// until a probe (or the half-open trial) succeeds again.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	consecutive int
+	openUntil   time.Time
+	opens       int64
+	lastErr     string
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent: true while the circuit is
+// closed, or once per cooldown while it is open (the half-open probe).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecutive < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	// Half-open: admit this attempt and push the next admission one
+	// cooldown out, so a still-dead backend sees one probe per cooldown
+	// rather than a thundering herd.
+	b.openUntil = now.Add(b.cooldown)
+	return true
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.lastErr = ""
+}
+
+// failure records a failed request, opening the circuit at the threshold.
+func (b *breaker) failure(now time.Time, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	if b.consecutive == b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.opens++
+	}
+}
+
+// snapshot returns the breaker's state for health reporting.
+func (b *breaker) snapshot(now time.Time) (open bool, consecutive int, opens int64, lastErr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive >= b.threshold && now.Before(b.openUntil), b.consecutive, b.opens, b.lastErr
+}

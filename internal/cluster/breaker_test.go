@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the circuit through closed → open →
+// half-open → closed with a synthetic clock.
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+	boom := errors.New("boom")
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(t0) {
+			t.Fatalf("closed circuit rejected request after %d failures", i)
+		}
+		b.failure(t0, boom)
+	}
+	b.failure(t0, boom) // third consecutive failure: opens
+	if b.allow(t0) {
+		t.Fatal("open circuit admitted a request inside the cooldown")
+	}
+	if open, consecutive, opens, lastErr := b.snapshot(t0); !open || consecutive != 3 || opens != 1 || lastErr != "boom" {
+		t.Fatalf("snapshot after open: open=%v consecutive=%d opens=%d lastErr=%q", open, consecutive, opens, lastErr)
+	}
+
+	// After the cooldown, exactly one half-open probe per cooldown window.
+	t1 := t0.Add(time.Second)
+	if !b.allow(t1) {
+		t.Fatal("half-open probe rejected after cooldown")
+	}
+	if b.allow(t1.Add(time.Millisecond)) {
+		t.Fatal("second probe admitted inside the same half-open window")
+	}
+
+	// Probe failure re-opens; probe success closes fully.
+	b.failure(t1, boom)
+	if b.allow(t1.Add(500 * time.Millisecond)) {
+		t.Fatal("circuit admitted traffic right after a failed half-open probe")
+	}
+	b.success()
+	if !b.allow(t1) || !b.allow(t1) {
+		t.Fatal("closed circuit throttled traffic after success")
+	}
+	if open, consecutive, _, lastErr := b.snapshot(t1); open || consecutive != 0 || lastErr != "" {
+		t.Fatalf("snapshot after close: open=%v consecutive=%d lastErr=%q", open, consecutive, lastErr)
+	}
+}

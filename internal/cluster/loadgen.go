@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"anondyn/internal/service"
+)
+
+// cheapTopologies are the oblivious schedules fast enough for high-volume
+// load generation ("isolator", the adaptive worst case, is deliberately
+// excluded — one of those dominates a whole soak run).
+var cheapTopologies = []string{"random", "path", "cycle", "complete", "star", "rotating-star", "shifting-path", "bottleneck"}
+
+// GenSpecs deterministically generates jobs load-test specs drawn from
+// distinct underlying configurations, interleaved so that duplicates of a
+// spec arrive both back-to-back (exercising in-flight coalescing) and far
+// apart (exercising the cache tiers). The same (jobs, distinct, seed)
+// triple always yields the same sequence, so soak results are replayable.
+func GenSpecs(jobs, distinct int, seed int64) []service.JobSpec {
+	if distinct < 1 {
+		distinct = 1
+	}
+	if distinct > jobs {
+		distinct = jobs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]service.JobSpec, distinct)
+	for i := range base {
+		spec := service.JobSpec{
+			N:        3 + rng.Intn(4),
+			Topology: cheapTopologies[rng.Intn(len(cheapTopologies))],
+			Seed:     rng.Int63n(1 << 20),
+			Halt:     rng.Intn(2) == 0,
+			Batch:    1 + rng.Intn(4),
+		}
+		if spec.Topology == "random" {
+			spec.Density = 0.2 + 0.6*rng.Float64()
+		}
+		// Distinct slots must actually be distinct specs: the Seed draw
+		// above makes hash collisions between slots vanishingly unlikely,
+		// but fold the index in anyway so the guarantee is structural.
+		spec.Seed = spec.Seed*int64(distinct) + int64(i)
+		base[i] = spec
+	}
+	out := make([]service.JobSpec, jobs)
+	for i := range out {
+		out[i] = base[rng.Intn(distinct)]
+	}
+	// Guarantee every distinct spec appears at least once.
+	perm := rng.Perm(jobs)
+	for i := 0; i < distinct && i < jobs; i++ {
+		out[perm[i]] = base[i]
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnersDistinctAndDeterministic pins the basic contract: Owners
+// returns n distinct backends, stably across calls and across rings built
+// from the same membership.
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("spec-%d", i)
+		owners := r1.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if again := r2.Owners(key, 3); fmt.Sprint(again) != fmt.Sprint(owners) {
+			t.Fatalf("key %q: rings disagree: %v vs %v", key, owners, again)
+		}
+	}
+	if got := r1.Owners("k", 99); len(got) != len(names) {
+		t.Fatalf("n>len(backends) returned %d owners, want %d", len(got), len(names))
+	}
+
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64); err == nil {
+		t.Fatal("duplicate membership accepted")
+	}
+}
+
+// TestRingBalance checks that 64 virtual nodes spread 10k keys across a
+// 3-backend ring without gross imbalance.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"a:1", "b:1", "c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("spec-%d", i), 1)[0]]++
+	}
+	for name, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("backend %s owns %.1f%% of keys (counts %v)", name, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingRemapMinimality is the consistent-hashing property: adding a
+// backend only moves keys onto the newcomer — no key changes hands
+// between surviving backends.
+func TestRingRemapMinimality(t *testing.T) {
+	before, err := NewRing([]string{"a:1", "b:1", "c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"a:1", "b:1", "c:1", "d:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("spec-%d", i)
+		oldOwner := before.Owners(key, 1)[0]
+		newOwner := after.Owners(key, 1)[0]
+		if newOwner == oldOwner {
+			continue
+		}
+		if newOwner != "d:1" {
+			t.Fatalf("key %q moved %s -> %s instead of to the new backend", key, oldOwner, newOwner)
+		}
+		moved++
+	}
+	// Expect roughly 1/4 of keys to move; far fewer means the new backend
+	// is underweighted, far more means the remap is not minimal.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("%d/%d keys moved to the new backend, want ~1/4", moved, keys)
+	}
+}

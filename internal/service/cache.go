@@ -10,10 +10,11 @@ import (
 // cached result is byte-for-byte what a re-run would produce. All methods
 // are safe for concurrent use.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	entries   map[string]*list.Element
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -61,7 +62,16 @@ func (c *Cache) Put(key string, r *Result) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
 	}
+}
+
+// Evictions returns the number of entries evicted by capacity pressure
+// since the cache was created.
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Len returns the number of cached results.

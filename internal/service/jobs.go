@@ -2,12 +2,14 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"anondyn/internal/engine"
+	"anondyn/internal/store"
 )
 
 // JobState is the lifecycle state of a job.
@@ -200,6 +202,7 @@ type Manager struct {
 	Metrics *Metrics
 
 	cache      *Cache
+	store      *store.Store // second cache tier; nil without persistence
 	queue      chan *Job
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -236,6 +239,61 @@ func NewManager(workers, cacheCap, queueCap int) *Manager {
 	return m
 }
 
+// AttachStore adds a persistent content-addressed result store as the
+// second cache tier: Submit consults it after an LRU miss (promoting hits
+// back into the LRU) and completed results are written through to it, so
+// cache hits survive restarts and deduplicate across a fleet sharing the
+// same content hashes. Attach before the first Submit; the store is owned
+// by the caller (the Manager never closes it).
+func (m *Manager) AttachStore(st *store.Store) { m.store = st }
+
+// storeLookup consults the persistent store for a previously computed
+// result, tolerating (and counting) unreadable records.
+func (m *Manager) storeLookup(hash string) (*Result, bool) {
+	if m.store == nil {
+		return nil, false
+	}
+	b, ok := m.store.Get(hash)
+	if !ok {
+		return nil, false
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		m.Metrics.StoreErrors.Add(1)
+		return nil, false
+	}
+	return &r, true
+}
+
+// storeWrite persists a completed result, tolerating (and counting)
+// append failures — the job already succeeded; persistence is best-effort.
+func (m *Manager) storeWrite(hash string, r *Result) {
+	if m.store == nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err == nil {
+		err = m.store.Put(hash, b)
+	}
+	if err != nil {
+		m.Metrics.StoreErrors.Add(1)
+	}
+}
+
+// MetricsSnapshot extends Metrics.Snapshot with the cache-tier gauges:
+// LRU occupancy and evictions, and the persistent store's stats when one
+// is attached. This is the payload of GET /v1/metrics.
+func (m *Manager) MetricsSnapshot() MetricsSnapshot {
+	snap := m.Metrics.Snapshot()
+	snap.CacheEntries = m.cache.Len()
+	snap.CacheEvictions = m.cache.Evictions()
+	if m.store != nil {
+		st := m.store.Stats()
+		snap.Store = &st
+	}
+	return snap
+}
+
 // Submit validates the spec and either serves it from the result cache
 // (the returned job is already Done with CacheHit set) or enqueues it for
 // a worker. Invalid specs, a saturated queue, and a shutting-down manager
@@ -263,7 +321,16 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 	m.Metrics.JobsAccepted.Add(1)
 
-	if r, ok := m.cache.Get(hash); ok {
+	r, hit := m.cache.Get(hash)
+	if !hit {
+		// Second tier: the persistent store (restart survival + fleet
+		// dedup). Hits are promoted back into the LRU.
+		if r, hit = m.storeLookup(hash); hit {
+			m.Metrics.StoreHits.Add(1)
+			m.cache.Put(hash, r)
+		}
+	}
+	if hit {
 		m.Metrics.CacheHits.Add(1)
 		m.Metrics.JobsCompleted.Add(1)
 		job.CacheHit = true
@@ -375,6 +442,7 @@ func (m *Manager) runJob(job *Job) {
 	case err == nil:
 		r := NewResult(res)
 		m.cache.Put(job.Hash, r)
+		m.storeWrite(job.Hash, r)
 		if job.finish(JobDone, r, "") {
 			m.Metrics.JobsCompleted.Add(1)
 		}

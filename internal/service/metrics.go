@@ -1,6 +1,10 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"anondyn/internal/store"
+)
 
 // Metrics aggregates the daemon's operational counters. All fields are
 // updated atomically and read without locks; a Snapshot is therefore only
@@ -20,8 +24,18 @@ type Metrics struct {
 	// watchdog (a wedged run under out-of-model faults hit its deadline).
 	JobsDeadlined atomic.Int64
 	// CacheHits and CacheMisses count result-cache lookups at submit time.
+	// A hit means either tier answered (memory LRU or persistent store);
+	// CacheMisses counts specs that had to simulate.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+	// StoreHits counts the subset of cache hits served by the persistent
+	// store after missing the in-memory LRU (i.e. results that survived a
+	// restart or were deduplicated across the fleet).
+	StoreHits atomic.Int64
+	// StoreErrors counts persistent-store operations that failed (an
+	// unreadable record, a failed append). The store degrades to a miss —
+	// the job simulates — so these are diagnostics, not failures.
+	StoreErrors atomic.Int64
 	// RoundsSimulated totals the communication rounds actually executed
 	// (cache hits add nothing — that is the point of the cache).
 	RoundsSimulated atomic.Int64
@@ -41,9 +55,18 @@ type MetricsSnapshot struct {
 	JobsDeadlined   int64 `json:"jobsDeadlined"`
 	CacheHits       int64 `json:"cacheHits"`
 	CacheMisses     int64 `json:"cacheMisses"`
+	StoreHits       int64 `json:"storeHits"`
+	StoreErrors     int64 `json:"storeErrors"`
 	RoundsSimulated int64 `json:"roundsSimulated"`
 	WorkersBusy     int64 `json:"workersBusy"`
 	QueueDepth      int64 `json:"queueDepth"`
+	// CacheEntries and CacheEvictions describe the in-memory LRU tier
+	// (filled by Manager.MetricsSnapshot).
+	CacheEntries   int   `json:"cacheEntries"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	// Store carries the persistent result-store counters, nil when the
+	// daemon runs without one.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Snapshot captures the current counter values.
@@ -56,6 +79,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		JobsDeadlined:   m.JobsDeadlined.Load(),
 		CacheHits:       m.CacheHits.Load(),
 		CacheMisses:     m.CacheMisses.Load(),
+		StoreHits:       m.StoreHits.Load(),
+		StoreErrors:     m.StoreErrors.Load(),
 		RoundsSimulated: m.RoundsSimulated.Load(),
 		WorkersBusy:     m.WorkersBusy.Load(),
 		QueueDepth:      m.QueueDepth.Load(),

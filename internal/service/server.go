@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"anondyn/internal/store"
 )
 
 // Server is the HTTP surface of the daemon.
@@ -20,13 +22,15 @@ import (
 //	GET    /v1/jobs/{id}        one job's status (result included when done)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream lifecycle + per-round progress as NDJSON
-//	GET    /v1/metrics          operational counters
-//	GET    /healthz             liveness probe
+//	GET    /v1/metrics          operational counters (cache tiers included)
+//	GET    /v1/healthz          liveness probe (JSON; coordinator probe target)
+//	GET    /healthz             liveness probe (plain text, kept for scripts)
 type Server struct {
-	mgr  *Manager
-	mux  *http.ServeMux
-	http *http.Server
-	ln   net.Listener
+	mgr   *Manager
+	mux   *http.ServeMux
+	http  *http.Server
+	ln    net.Listener
+	store *store.Store // owned when opened from StoreDir; nil otherwise
 }
 
 // ServerConfig parameterizes NewServer. Zero values select sane defaults.
@@ -41,6 +45,11 @@ type ServerConfig struct {
 	CacheSize int
 	// QueueSize is the job-queue capacity (default 1024).
 	QueueSize int
+	// StoreDir, when non-empty, opens (or creates) a persistent
+	// content-addressed result store in that directory and attaches it
+	// under the LRU, so cache hits survive restarts. The server owns the
+	// store and closes it on Shutdown.
+	StoreDir string
 }
 
 // NewServer binds the listen address and prepares the daemon, but does not
@@ -58,13 +67,28 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.QueueSize == 0 {
 		cfg.QueueSize = 1024
 	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("service: open result store: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, fmt.Errorf("service: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		mgr: NewManager(cfg.Workers, cfg.CacheSize, cfg.QueueSize),
-		mux: http.NewServeMux(),
+		mgr:   NewManager(cfg.Workers, cfg.CacheSize, cfg.QueueSize),
+		mux:   http.NewServeMux(),
+		store: st,
+	}
+	if st != nil {
+		s.mgr.AttachStore(st)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -72,6 +96,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -107,10 +132,32 @@ func (s *Server) Start() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	httpErr := s.http.Shutdown(ctx)
 	mgrErr := s.mgr.Shutdown(ctx)
+	if s.store != nil {
+		// After the manager drained, no worker can write the store anymore.
+		_ = s.store.Close()
+	}
 	if httpErr != nil {
 		return httpErr
 	}
 	return mgrErr
+}
+
+// Close hard-stops the server: the listener and every active connection
+// close immediately and in-flight simulations are force-cancelled (they
+// terminate as JobCancelled). This is the abrupt counterpart of Shutdown —
+// the fleet soak test uses it to kill a backend mid-sweep. The persistent
+// store needs no flushing (appends are already on disk), so a Closed
+// backend restarted over the same StoreDir serves its completed results
+// from the store.
+func (s *Server) Close() error {
+	httpErr := s.http.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: force-cancel in-flight jobs immediately
+	_ = s.mgr.Shutdown(ctx)
+	if s.store != nil {
+		_ = s.store.Close()
+	}
+	return httpErr
 }
 
 // writeJSON writes v with the given status code.
@@ -183,26 +230,45 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams the job's event feed as NDJSON: one JSON object per
 // line, flushed per event, ending with a terminal "state" line (followed by
 // the job status on a "status" line) once the job finishes.
+//
+// The stream must terminate promptly when the client goes away, through
+// either of two signals: the request context (cancelled by net/http when
+// the connection drops — the primary signal) or a write/flush error (the
+// backstop when cancellation is delayed, e.g. behind a buffering proxy
+// that keeps the upstream connection open). Ignoring write errors here
+// would pin a handler goroutine — and its job subscription — for the
+// remaining lifetime of an arbitrarily long job per disconnected client;
+// the regression test is TestEventStreamClientDisconnect.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.mgr.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	flusher, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 
 	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	writeLine := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		// ErrNotSupported (no flusher in the chain) is fine: the write
+		// above still succeeded and will reach the client buffered.
+		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return false
+		}
+		return true
+	}
 	events, unsubscribe := job.Subscribe()
 	defer unsubscribe()
 
 	// Lead with the current state so a late subscriber still gets a
 	// well-formed stream.
 	st := job.Status()
-	_ = enc.Encode(Event{Type: "state", State: st.State, Error: st.Error})
-	if canFlush {
-		flusher.Flush()
+	if !writeLine(Event{Type: "state", State: st.State, Error: st.Error}) {
+		return
 	}
 
 	for {
@@ -210,19 +276,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case ev, open := <-events:
 			if !open {
 				// Terminal: append the final status as the last line.
-				final := job.Status()
-				_ = enc.Encode(struct {
+				_ = writeLine(struct {
 					Type   string    `json:"type"`
 					Status JobStatus `json:"status"`
-				}{Type: "status", Status: final})
-				if canFlush {
-					flusher.Flush()
-				}
+				}{Type: "status", Status: job.Status()})
 				return
 			}
-			_ = enc.Encode(ev)
-			if canFlush {
-				flusher.Flush()
+			if !writeLine(ev) {
+				return
 			}
 		case <-r.Context().Done():
 			return
@@ -231,7 +292,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.Metrics.Snapshot())
+	writeJSON(w, http.StatusOK, s.mgr.MetricsSnapshot())
+}
+
+// healthzStatus is the JSON body of GET /v1/healthz: enough for a
+// coordinator's failover probe to judge liveness and load at a glance.
+type healthzStatus struct {
+	Status      string `json:"status"`
+	WorkersBusy int64  `json:"workersBusy"`
+	QueueDepth  int64  `json:"queueDepth"`
+}
+
+// handleHealthz is the documented liveness probe for coordinators and
+// load balancers: cheap (two atomic loads), allocation-light, and always
+// 200 while the listener is up — a daemon that cannot answer it is down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzStatus{
+		Status:      "ok",
+		WorkersBusy: s.mgr.Metrics.WorkersBusy.Load(),
+		QueueDepth:  s.mgr.Metrics.QueueDepth.Load(),
+	})
 }
 
 // WaitTerminal blocks until the job reaches a terminal state or the
