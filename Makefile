@@ -32,16 +32,17 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzMessageCodec$$' -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzRandomConnectedSchedule$$' -fuzztime=$(FUZZTIME) ./internal/dynnet
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultPlan$$' -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz='^FuzzSolverArithmetic$$' -fuzztime=$(FUZZTIME) ./internal/historytree
 
-# Run the benchmark-regression suite and record BENCH_PR4.json (see
+# Run the benchmark-regression suite and record BENCH_PR7.json (see
 # EXPERIMENTS.md, "Perf appendix").
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR4.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR7.json
 
 # Compare two BENCH_*.json reports; fails on >20% ns/op regression.
-# Usage: make benchcmp BASE=BENCH_PR3.json [NEW=BENCH_PR4.json]
-BASE ?= BENCH_PR3.json
-NEW ?= BENCH_PR4.json
+# Usage: make benchcmp BASE=BENCH_PR4.json [NEW=BENCH_PR7.json]
+BASE ?= BENCH_PR4.json
+NEW ?= BENCH_PR7.json
 benchcmp:
 	$(GO) run ./cmd/benchreport -compare -old $(BASE) -new $(NEW)
 

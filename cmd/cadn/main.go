@@ -60,6 +60,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		eager      = fs.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
 		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
 		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution) or concurrent")
+		arith      = fs.String("arith", "modular", "counting-solver arithmetic: modular (residue/CRT) or big (big.Int witness)")
 		faultsFlag = fs.String("faults", "", "fault plan layered over the adversary, e.g. spike:8:0 or cut:3:20,storm:1:0:2 (see internal/faults)")
 		faultSeed  = fs.Int64("faultseed", 0, "fault-plan RNG seed (only the drop fault consumes it)")
 		deadline   = fs.Int("deadline", 0, "watchdog deadline in milliseconds (0 = off; required for out-of-model fault plans)")
@@ -69,7 +70,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
 		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler,
-		*faultsFlag, *faultSeed, *deadline)
+		*arith, *faultsFlag, *faultSeed, *deadline)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
 		return 2
@@ -86,7 +87,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
 	fine bool, batch int, keepAll, eager bool, scheduler string,
-	faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
+	arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
 		Topology:   topology,
@@ -101,6 +102,7 @@ func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 		KeepAll:    keepAll,
 		Eager:      eager,
 		Scheduler:  scheduler,
+		Arithmetic: arith,
 		Faults:     faultsSpec,
 		FaultSeed:  faultSeed,
 		DeadlineMS: deadlineMS,
@@ -157,6 +159,11 @@ func run(spec service.JobSpec, showTree, traceOn bool, w io.Writer) error {
 		res.Stats.Rounds, res.Stats.Levels, res.Stats.Resets, res.Stats.FinalDiamEstimate)
 	fmt.Fprintf(w, "messages=%d maxMessageBits=%d totalBits=%d\n",
 		res.Stats.TotalMessages, res.Stats.MaxMessageBits, res.Stats.TotalBits)
+	if res.Stats.SolverPrimes > 0 {
+		fmt.Fprintf(w, "solver: calls=%d primes=%d crtRecons=%d evictions=%d witnessFalls=%d\n",
+			res.Stats.SolverCalls, res.Stats.SolverPrimes, res.Stats.SolverCRTRecons,
+			res.Stats.SolverEvictions, res.Stats.SolverWitnessFalls)
+	}
 	if showTree && res.VHT != nil {
 		fmt.Fprintln(w, "virtual history tree:")
 		fmt.Fprint(w, anondyn.RenderTree(res.VHT))

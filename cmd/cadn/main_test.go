@@ -133,11 +133,12 @@ func TestValidateFlagCombinations(t *testing.T) {
 		fine       bool
 		batch      int
 		scheduler  string
+		arith      string
 		faults     string
 		faultSeed  int64
 		deadlineMS int
 	}
-	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential"}
+	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential", arith: "modular"}
 	tests := []struct {
 		name    string
 		mut     func(*args)
@@ -162,6 +163,8 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{name: "inputs-count-mismatch", mut: func(a *args) { a.inputs = "1,2" }, wantErr: "input values"},
 		{name: "inputs-not-numeric", mut: func(a *args) { a.inputs = "a,b,c,d" }, wantErr: "-inputs value"},
 		{name: "unknown-scheduler", mut: func(a *args) { a.scheduler = "parallel" }, wantErr: "unknown scheduler"},
+		{name: "unknown-arithmetic", mut: func(a *args) { a.arith = "float" }, wantErr: "unknown arithmetic"},
+		{name: "big-arithmetic-ok", mut: func(a *args) { a.arith = "big" }, wantErr: ""},
 		{name: "malformed-faults", mut: func(a *args) { a.faults = "spike:1" }, wantErr: "invalid fault plan"},
 		{name: "unknown-fault", mut: func(a *args) { a.faults = "meteor:1:0" }, wantErr: "unknown fault"},
 		{name: "crash-pid-out-of-range", mut: func(a *args) { a.faults = "crash:9:1:0"; a.deadlineMS = 100 },
@@ -179,7 +182,7 @@ func TestValidateFlagCombinations(t *testing.T) {
 			tt.mut(&a)
 			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
 				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler,
-				a.faults, a.faultSeed, a.deadlineMS)
+				a.arith, a.faults, a.faultSeed, a.deadlineMS)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -83,6 +83,13 @@ type Config struct {
 	// this many levels (0 = unlimited). Termination is guaranteed by the
 	// paper within 3n levels, so tests set this to catch divergence.
 	MaxLevels int
+	// Arithmetic selects the counting solver's exact-arithmetic backend.
+	// The zero value is historytree.ArithModular, the multi-modular
+	// residue/CRT backend; historytree.ArithBig selects the fraction-free
+	// big.Int eliminator, retained as the exactness witness (DESIGN.md
+	// decision 12). Both backends produce identical answers on every
+	// input; the knob exists for benchmarking and equivalence testing.
+	Arithmetic historytree.Arith
 	// FromScratchCount disables the incremental counting solver: the
 	// deciding process re-runs the from-scratch historytree.Count (or
 	// Frequencies) after every completed level, as the pre-optimization

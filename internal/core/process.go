@@ -199,7 +199,7 @@ func (p *Process) initialize() {
 	p.initialID = p.myID
 	p.nextFreshID = 2
 	p.vht = historytree.New()
-	p.solver = historytree.NewSolver()
+	p.solver = historytree.NewSolverWith(p.cfg.Arithmetic)
 	p.snapshots = make(map[int]snapshot)
 	p.diamEstimate = 1
 	if p.cfg.Mode == ModeLeaderless {
@@ -312,7 +312,7 @@ func (p *Process) countNow() (historytree.CountResult, error) {
 		return p.solver.CountAt(p.vht, p.currentLevel)
 	}
 	start := time.Now()
-	res, err := historytree.Count(p.vht, p.currentLevel)
+	res, err := historytree.CountWith(p.vht, p.currentLevel, p.cfg.Arithmetic)
 	p.scratchStats.Calls++
 	p.scratchStats.SolveTime += time.Since(start)
 	return res, err
@@ -324,7 +324,7 @@ func (p *Process) frequenciesNow() (historytree.FrequencyResult, error) {
 		return p.solver.FrequenciesAt(p.vht, p.currentLevel)
 	}
 	start := time.Now()
-	res, err := historytree.Frequencies(p.vht, p.currentLevel)
+	res, err := historytree.FrequenciesWith(p.vht, p.currentLevel, p.cfg.Arithmetic)
 	p.scratchStats.Calls++
 	p.scratchStats.SolveTime += time.Since(start)
 	return res, err

@@ -36,6 +36,14 @@ type RunStats struct {
 	// goes (see the perf appendix of EXPERIMENTS.md).
 	SolverTime  time.Duration
 	SolverCalls int
+	// Multi-modular backend counters of the deciding process's solver
+	// (all zero under Arithmetic: historytree.ArithBig): the battery size
+	// reached, CRT ray reconstructions, unlucky-prime evictions, and
+	// fallbacks to the big.Int exactness witness.
+	SolverPrimes       int
+	SolverCRTRecons    int
+	SolverEvictions    int
+	SolverWitnessFalls int
 }
 
 // RunResult is the outcome of a complete protocol run.
@@ -175,8 +183,7 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.VHT = leaderOut.VHT
 		out.Stats.Levels = leaderOut.Levels
 		out.Stats.FinalDiamEstimate = leaderOut.FinalDiamEstimate
-		out.Stats.SolverTime = leaderOut.Solver.SolveTime
-		out.Stats.SolverCalls = leaderOut.Solver.Calls
+		out.Stats.absorbSolver(leaderOut.Solver)
 		if cfg.SimultaneousHalt {
 			if err := checkSimultaneous(out.Outputs, n, leaderOut.N); err != nil {
 				return nil, err
@@ -207,10 +214,20 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.VHT = first.VHT
 		out.Stats.Levels = first.Levels
 		out.Stats.FinalDiamEstimate = first.FinalDiamEstimate
-		out.Stats.SolverTime = first.Solver.SolveTime
-		out.Stats.SolverCalls = first.Solver.Calls
+		out.Stats.absorbSolver(first.Solver)
 	}
 	return out, nil
+}
+
+// absorbSolver copies the deciding process's solver counters into the
+// run's stats.
+func (st *RunStats) absorbSolver(s historytree.SolverStats) {
+	st.SolverTime = s.SolveTime
+	st.SolverCalls = s.Calls
+	st.SolverPrimes = s.PrimesUsed
+	st.SolverCRTRecons = s.CRTReconstructions
+	st.SolverEvictions = s.UnluckyEvictions
+	st.SolverWitnessFalls = s.WitnessFallbacks
 }
 
 // defaultMaxRounds derives a generous safety cap: the paper's bound is

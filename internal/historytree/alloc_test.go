@@ -82,3 +82,85 @@ func TestCanonicalFormAllocs(t *testing.T) {
 		t.Fatalf("CanonicalForm allocated %.1f objects, want ≤ 64", allocs)
 	}
 }
+
+// TestModElimSteadyRoundAllocs is the PR 7 hot-loop gate: feeding a
+// balance system into a warm battery — the work the modular backend does
+// on every completed level — must not allocate at all. The row freelist,
+// the per-prime residue storage, and the int64 conversion scratch are all
+// recycled across reset, so the elimination's steady state is exactly
+// zero objects per round.
+func TestModElimSteadyRoundAllocs(t *testing.T) {
+	n := 8
+	s := dynnet.NewRandomConnected(n, 0.4, 5)
+	inputs := make([]Input, n)
+	inputs[0].Leader = true
+	run, err := Build(s, inputs, 3*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, k, resolvable, err := prepSolution(run.Tree, run.Rounds)
+	if err != nil || !resolvable {
+		t.Fatalf("prep: resolvable=%v err=%v", resolvable, err)
+	}
+	defer sol.release()
+	var rows [][]int64
+	for l := 0; l < run.Rounds; l++ {
+		for _, pair := range balancePairs(run.Tree, l) {
+			if sol.fillRow(pair) {
+				rows = append(rows, append([]int64(nil), sol.row...))
+			}
+		}
+	}
+	if len(rows) < k {
+		t.Fatalf("only %d balance rows for %d columns", len(rows), k)
+	}
+	e := newModElim(k, 3)
+	feed := func() {
+		for _, r := range rows {
+			e.addRow(r)
+		}
+	}
+	feed() // warm: grows rows, freelists, scratch
+	allocs := testing.AllocsPerRun(32, func() {
+		e.reset(k)
+		feed()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm modular elimination allocated %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// TestSolverModularResolveAllocs bounds the full incremental re-query on
+// an already-consumed tree: battery growth is over, so a CountAt at the
+// frontier pays only for the CRT lift, the rational ray, and the result
+// map — O(n) objects, two orders of magnitude below the big.Int backend's
+// per-query elimination churn.
+func TestSolverModularResolveAllocs(t *testing.T) {
+	n := 8
+	s := dynnet.NewRandomConnected(n, 0.4, 5)
+	inputs := make([]Input, n)
+	inputs[0].Leader = true
+	run, err := Build(s, inputs, 3*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := NewSolverWith(ArithModular)
+	res, err := solver.CountAt(run.Tree, run.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Known {
+		t.Fatalf("count unresolved after %d levels", run.Rounds)
+	}
+	allocs := testing.AllocsPerRun(32, func() {
+		if _, err := solver.CountAt(run.Tree, run.Rounds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured ≈ 170 on this tree (ray reconstruction + weights + result
+	// map); the bound is ~2× that. The battery itself must not grow —
+	// growth re-replays the whole system and would blow far past this.
+	if allocs > 384 {
+		t.Fatalf("steady-state modular CountAt allocated %.1f objects, want ≤ 384", allocs)
+	}
+}

@@ -344,18 +344,21 @@ func (s *solution) levelZeroWeights(t *Tree) map[*Node]*big.Rat {
 	return out
 }
 
-func solve(t *Tree, completeLevels int) (*solution, error) {
+// prepSolution runs the shared prologue of solve and solveModular:
+// validation, the Resolvable gate, and (when resolvable) the ancestor
+// chains and pooled row scratch that fillRow needs.
+func prepSolution(t *Tree, completeLevels int) (sol *solution, k int, resolvable bool, err error) {
 	if completeLevels < 0 || completeLevels > t.Depth() {
-		return nil, fmt.Errorf("historytree: completeLevels %d out of range [0,%d]", completeLevels, t.Depth())
+		return nil, 0, false, fmt.Errorf("historytree: completeLevels %d out of range [0,%d]", completeLevels, t.Depth())
 	}
 	leaves := t.Level(completeLevels)
-	k := len(leaves)
+	k = len(leaves)
 	if k == 0 {
-		return nil, fmt.Errorf("historytree: empty level %d", completeLevels)
+		return nil, 0, false, fmt.Errorf("historytree: empty level %d", completeLevels)
 	}
-	sol := &solution{leaves: leaves}
+	sol = &solution{leaves: leaves}
 	if !Resolvable(t, completeLevels) {
-		return sol, nil // trivially undetermined; skip elimination entirely
+		return sol, k, false, nil // trivially undetermined; skip elimination entirely
 	}
 	// Ancestor chains: O(k) pointer hops per level, in place of the old
 	// per-node k-length coefficient vectors (O(levels·k²) words).
@@ -371,6 +374,14 @@ func solve(t *Tree, completeLevels int) (*solution, error) {
 	}
 	sol.cols = make([]map[*Node]cols, completeLevels+1)
 	sol.row = getVec(k)
+	return sol, k, true, nil
+}
+
+func solve(t *Tree, completeLevels int) (*solution, error) {
+	sol, k, resolvable, err := prepSolution(t, completeLevels)
+	if err != nil || !resolvable {
+		return sol, err
+	}
 
 	// Collect the homogeneous balance system and reduce it incrementally.
 	// On a well-formed history tree the truth is a nonzero null vector, so
@@ -410,26 +421,12 @@ collect:
 		}
 	}
 	// Orient the ray positively: the truth is strictly positive on every
-	// leaf (complete-level classes are nonempty).
-	sign := 0
-	for _, x := range sol.ray {
-		if s := x.Sign(); s != 0 {
-			sign = s
-			break
-		}
-	}
-	if sign < 0 {
-		for _, x := range sol.ray {
-			x.Neg(x)
-		}
-	}
-	for _, x := range sol.ray {
-		if x.Sign() <= 0 {
-			// Mixed signs: the system pinned down a ray that cannot be a
-			// cardinality vector; treat as undetermined rather than wrong.
-			sol.release()
-			return &solution{}, nil
-		}
+	// leaf (complete-level classes are nonempty). Mixed signs mean the
+	// system pinned down a ray that cannot be a cardinality vector; treat
+	// that as undetermined rather than wrong.
+	if !orientPositive(sol.ray) {
+		sol.release()
+		return &solution{}, nil
 	}
 	sol.known = true
 	return sol, nil
@@ -442,8 +439,31 @@ type nodePair struct {
 }
 
 // balancePairs enumerates the distinct pairs {u, w} of level-l nodes, u≠w,
-// such that some child of one has a red edge from the other.
+// such that some child of one has a red edge from the other. Results are
+// memoized on the tree and invalidated by any structural mutation, so the
+// repeated enumerations of the solve paths (collect, battery replay,
+// verification, and replayed from-scratch calls on a quiescent tree) pay
+// for each level once. Callers must not retain the slice across mutations.
 func balancePairs(t *Tree, l int) []nodePair {
+	if t.pairsMut != t.mut {
+		t.pairsLevel = t.pairsLevel[:0]
+		t.pairsMut = t.mut
+	}
+	for len(t.pairsLevel) <= l {
+		t.pairsLevel = append(t.pairsLevel, nil)
+	}
+	if p := t.pairsLevel[l]; p != nil {
+		return p
+	}
+	p := computeBalancePairs(t, l)
+	if p == nil {
+		p = []nodePair{}
+	}
+	t.pairsLevel[l] = p
+	return p
+}
+
+func computeBalancePairs(t *Tree, l int) []nodePair {
 	seen := make(map[[2]int]bool)
 	var out []nodePair
 	for _, c := range t.Level(l + 1) {

@@ -1,0 +1,77 @@
+package historytree
+
+import (
+	"testing"
+
+	"anondyn/internal/dynnet"
+)
+
+// FuzzSolverArithmetic fuzzes the witness discipline of DESIGN.md decision
+// 12: on an arbitrary (n, density, seed, leaderless) protocol tree, the
+// multi-modular backend and the big.Int eliminator must agree — same
+// errors, same known/unknown decision, and the same answer — at every
+// complete-level prefix, through both the from-scratch and the incremental
+// solve paths. Crashers land in testdata/fuzz/FuzzSolverArithmetic/ and
+// are replayed by plain `go test` once checked in.
+func FuzzSolverArithmetic(f *testing.F) {
+	f.Add(byte(0), uint16(0), int64(1), false)
+	f.Add(byte(4), uint16(26000), int64(42), false)
+	f.Add(byte(8), uint16(65535), int64(-3), true)
+	f.Add(byte(2), uint16(300), int64(7), true)
+	f.Fuzz(func(t *testing.T, nRaw byte, pRaw uint16, seed int64, leaderless bool) {
+		n := 2 + int(nRaw)%9 // [2, 10]: the per-input level sweep is O(n^4)
+		p := float64(pRaw) / 65535
+		s := dynnet.NewRandomConnected(n, p, seed)
+		inputs := make([]Input, n)
+		if leaderless {
+			for i := range inputs {
+				inputs[i].Value = int64(i % 3)
+			}
+		} else {
+			inputs[0].Leader = true
+		}
+		run, err := Build(s, inputs, 3*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incMod := NewSolverWith(ArithModular)
+		incBig := NewSolverWith(ArithBig)
+		for l := 0; l <= run.Rounds; l++ {
+			if leaderless {
+				exact, err1 := Frequencies(run.Tree, l)
+				mod, err2 := FrequenciesModular(run.Tree, l)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("level %d: error divergence: big %v, modular %v", l, err1, err2)
+				}
+				if err1 == nil && !sameFreq(exact, mod) {
+					t.Fatalf("level %d: modular %+v != big %+v", l, mod, exact)
+				}
+				im, err3 := incMod.FrequenciesAt(run.Tree, l)
+				ib, err4 := incBig.FrequenciesAt(run.Tree, l)
+				if (err3 == nil) != (err4 == nil) {
+					t.Fatalf("level %d: incremental error divergence: big %v, modular %v", l, err4, err3)
+				}
+				if err3 == nil && !sameFreq(ib, im) {
+					t.Fatalf("level %d: incremental modular %+v != big %+v", l, im, ib)
+				}
+				continue
+			}
+			exact, err1 := Count(run.Tree, l)
+			mod, err2 := CountModular(run.Tree, l)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("level %d: error divergence: big %v, modular %v", l, err1, err2)
+			}
+			if err1 == nil && !sameCount(exact, mod) {
+				t.Fatalf("level %d: modular %+v != big %+v", l, mod, exact)
+			}
+			im, err3 := incMod.CountAt(run.Tree, l)
+			ib, err4 := incBig.CountAt(run.Tree, l)
+			if (err3 == nil) != (err4 == nil) {
+				t.Fatalf("level %d: incremental error divergence: big %v, modular %v", l, err4, err3)
+			}
+			if err3 == nil && !sameCount(ib, im) {
+				t.Fatalf("level %d: incremental modular %+v != big %+v", l, im, ib)
+			}
+		}
+	})
+}

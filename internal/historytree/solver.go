@@ -40,8 +40,10 @@ type Solver struct {
 	anc0    []*Node       // level-0 ancestor of each basis column
 	covered []bool        // some ancestor (levels 1..level) has a cross red edge
 
-	elim   *intElim
-	broken bool // structural fallback: delegate to from-scratch until reset
+	arith  Arith
+	elim   *intElim // ArithBig elimination state
+	melim  *modElim // ArithModular battery; survives resets (luck is system-independent)
+	broken bool     // structural fallback: delegate to from-scratch until reset
 
 	stats SolverStats
 }
@@ -64,15 +66,42 @@ type SolverStats struct {
 	Fallbacks int
 	// SolveTime accumulates wall time spent inside CountAt/FrequenciesAt.
 	SolveTime time.Duration
+
+	// PrimesUsed is the number of battery primes the modular backend has
+	// adopted over the solver's lifetime (evicted primes included). Zero
+	// under ArithBig.
+	PrimesUsed int
+	// CRTReconstructions counts null-ray CRT+rational recoveries.
+	CRTReconstructions int
+	// UnluckyEvictions counts battery primes evicted for rank drop or
+	// pivot-profile drift.
+	UnluckyEvictions int
+	// WitnessFallbacks counts calls answered by the big.Int witness because
+	// the modular battery failed to certify within its attempt budget.
+	WitnessFallbacks int
 }
 
-// NewSolver returns an empty Solver; it attaches to a tree on first use.
+// NewSolver returns an empty Solver using the default (multi-modular)
+// arithmetic backend; it attaches to a tree on first use.
 func NewSolver() *Solver {
-	return &Solver{level: -1}
+	return NewSolverWith(ArithModular)
+}
+
+// NewSolverWith returns an empty Solver using the given arithmetic backend.
+func NewSolverWith(a Arith) *Solver {
+	return &Solver{level: -1, arith: a}
 }
 
 // Stats returns the accumulated work counters.
-func (s *Solver) Stats() SolverStats { return s.stats }
+func (s *Solver) Stats() SolverStats {
+	st := s.stats
+	if s.melim != nil {
+		st.PrimesUsed = s.melim.nextPrime
+		st.CRTReconstructions = s.melim.crtRecons
+		st.UnluckyEvictions = s.melim.evictions
+	}
+	return st
+}
 
 // CountAt is the incremental equivalent of Count(t, completeLevels).
 func (s *Solver) CountAt(t *Tree, completeLevels int) (CountResult, error) {
@@ -93,7 +122,11 @@ func (s *Solver) CountAt(t *Tree, completeLevels int) (CountResult, error) {
 		s.stats.Fallbacks++
 		return Count(t, completeLevels)
 	}
-	ray := s.resolve()
+	ray, certified := s.resolve()
+	if !certified {
+		s.stats.WitnessFallbacks++
+		return Count(t, completeLevels)
+	}
 	if ray == nil {
 		return CountResult{}, nil
 	}
@@ -115,7 +148,11 @@ func (s *Solver) FrequenciesAt(t *Tree, completeLevels int) (FrequencyResult, er
 		s.stats.Fallbacks++
 		return Frequencies(t, completeLevels)
 	}
-	ray := s.resolve()
+	ray, certified := s.resolve()
+	if !certified {
+		s.stats.WitnessFallbacks++
+		return Frequencies(t, completeLevels)
+	}
 	if ray == nil {
 		return FrequencyResult{}, nil
 	}
@@ -157,7 +194,13 @@ func (s *Solver) ensure(t *Tree, completeLevels int) (bool, error) {
 			s.idx[v] = i
 			s.anc0[i] = v
 		}
-		s.elim = newIntElim(len(base))
+		if s.arith == ArithBig {
+			s.elim = newIntElim(len(base))
+		} else if s.melim == nil {
+			s.melim = newModElim(len(base), 2)
+		} else {
+			s.melim.reset(len(base))
+		}
 	}
 	for s.level < completeLevels {
 		if !s.extend(t) {
@@ -207,7 +250,11 @@ func (s *Solver) extend(t *Tree) bool {
 	// pair enumeration matches the from-scratch solver's.
 	pairs := balancePairs(t, s.level)
 
-	s.elim.lift(parentIdx, len(next))
+	if s.arith == ArithBig {
+		s.elim.lift(parentIdx, len(next))
+	} else {
+		s.melim.lift(parentIdx, len(next))
+	}
 
 	idx := make(map[*Node]int, len(next))
 	anc0 := make([]*Node, len(next))
@@ -221,7 +268,17 @@ func (s *Solver) extend(t *Tree) bool {
 	s.level++
 	s.stats.LevelsConsumed++
 
-	row := make([]big.Int, len(next))
+	if s.arith == ArithBig {
+		s.feedBig(pairs, idx, len(next))
+	} else {
+		s.feedModular(pairs, idx, len(next))
+	}
+	return true
+}
+
+// feedBig feeds one level's balance equations into the big.Int elimination.
+func (s *Solver) feedBig(pairs []nodePair, idx map[*Node]int, k int) {
+	row := make([]big.Int, k)
 	for _, pair := range pairs {
 		for i := range row {
 			row[i].SetInt64(0)
@@ -246,7 +303,39 @@ func (s *Solver) extend(t *Tree) bool {
 		}
 		s.stats.Equations++
 	}
-	return true
+}
+
+// feedModular feeds one level's balance equations into the prime battery.
+// The int64 row scratch lives in the battery and is recycled, so the
+// steady-state feed allocates nothing.
+func (s *Solver) feedModular(pairs []nodePair, idx map[*Node]int, k int) {
+	e := s.melim
+	if cap(e.intRow) < k {
+		e.intRow = make([]int64, k, k+k/2+4)
+	}
+	row := e.intRow[:k]
+	for _, pair := range pairs {
+		for i := range row {
+			row[i] = 0
+		}
+		used := false
+		for _, c := range pair.w.Children {
+			if m := c.RedMult(pair.u); m != 0 {
+				row[idx[c]] = int64(m)
+				used = true
+			}
+		}
+		for _, c := range pair.u.Children {
+			if m := c.RedMult(pair.w); m != 0 {
+				row[idx[c]] = -int64(m)
+				used = true
+			}
+		}
+		if used {
+			e.addRow(row)
+		}
+		s.stats.Equations++
+	}
 }
 
 // resolve extracts the positively-oriented null ray, or nil when the system
@@ -255,37 +344,135 @@ func (s *Solver) extend(t *Tree) bool {
 // chain: its column is zero in every equation, so the null space has
 // dimension ≥ 2 (or, degenerately, the ray would be a unit vector and fail
 // the positivity check) — either way the answer is unknown.
-func (s *Solver) resolve() []*big.Rat {
+//
+// certified=false means the modular battery could not certify a decision
+// within its attempt budget and the caller must delegate this call to the
+// big.Int witness; it never happens under ArithBig.
+func (s *Solver) resolve() (ray []*big.Rat, certified bool) {
 	k := len(s.basis)
-	if s.elim.rank != k-1 {
-		return nil
-	}
 	if k >= 2 {
 		for _, c := range s.covered {
 			if !c {
-				return nil
+				return nil, true
 			}
 		}
 	}
-	ray := s.elim.nullRay()
-	sign := 0
-	for _, x := range ray {
-		if sg := x.Sign(); sg != 0 {
-			sign = sg
-			break
+	if s.arith != ArithBig {
+		return s.resolveModular(k)
+	}
+	if s.elim.rank != k-1 {
+		return nil, true
+	}
+	ray = s.elim.nullRay()
+	if !orientPositive(ray) {
+		return nil, true
+	}
+	return ray, true
+}
+
+// resolveModular is resolve over the prime battery: it certifies the rank
+// decision (growing the battery to the Hadamard-bound size and replaying
+// the consumed equations into fresh primes straight from the tree), evicts
+// unlucky primes against the battery consensus, and CRT-reconstructs the
+// exact null ray at corank 1. Soundness: every lucky prime sees the exact
+// rank and pivot profile, an unlucky prime must divide one of two fixed
+// nonzero minors bounded by the Hadamard bound, and the battery holds more
+// primes than those minors admit 30-bit divisors — so after eviction the
+// per-prime rays are reductions of the one exact primitive ray and the CRT
+// modulus exceeds twice the square of its entry bound.
+func (s *Solver) resolveModular(k int) ([]*big.Rat, bool) {
+	e := s.melim
+	for attempt := 0; attempt < 5; attempt++ {
+		r := e.maxRank()
+		if r >= k {
+			return nil, true
+		}
+		if r < k-1 {
+			if len(e.primes) >= e.neededPrimes(false) {
+				return nil, true // certified: rank genuinely below k−1
+			}
+			e.growTo(e.neededPrimes(false), s.replayInto)
+			continue
+		}
+		if e.evictUnlucky() > 0 || len(e.primes) < e.neededPrimes(true) {
+			e.growTo(e.neededPrimes(true), s.replayInto)
+			continue
+		}
+		ray := e.nullRay()
+		if ray == nil {
+			continue
+		}
+		if !orientPositive(ray) {
+			return nil, true
+		}
+		return ray, true
+	}
+	return nil, false
+}
+
+// replayInto feeds a fresh battery prime the full consumed balance system,
+// re-enumerated from the tree and expanded onto the current basis exactly
+// as the from-scratch solver would expand it. The expansion of each old
+// equation is the lift of the row the incremental feed saw, so the fresh
+// prime reduces the same row space as its elders — just without their
+// elimination history.
+func (s *Solver) replayInto(ps *primeState) {
+	e := s.melim
+	k := len(s.basis)
+	if cap(e.intRow) < k {
+		e.intRow = make([]int64, k, k+k/2+4)
+	}
+	row := e.intRow[:k]
+	under := make(map[*Node][]int32, k)
+	fed := 0
+	// Build ancestor chains bottom-up once, then replay levels in feed
+	// order (0..level−1) so row order matches the original feed.
+	chains := make([][]*Node, s.level+1)
+	chains[s.level] = s.basis
+	for l := s.level - 1; l >= 0; l-- {
+		a := make([]*Node, k)
+		up := chains[l+1]
+		for i := range a {
+			a[i] = up[i].Parent
+		}
+		chains[l] = a
+	}
+	for l := 0; l < s.level && fed < e.rowsFed; l++ {
+		clear(under)
+		for i, v := range chains[l+1] {
+			under[v] = append(under[v], int32(i))
+		}
+		for _, pair := range balancePairs(s.t, l) {
+			if fed >= e.rowsFed {
+				break
+			}
+			for i := range row {
+				row[i] = 0
+			}
+			used := false
+			for _, c := range pair.w.Children {
+				if m := c.RedMult(pair.u); m != 0 {
+					for _, i := range under[c] {
+						row[i] += int64(m)
+					}
+					used = true
+				}
+			}
+			for _, c := range pair.u.Children {
+				if m := c.RedMult(pair.w); m != 0 {
+					for _, i := range under[c] {
+						row[i] -= int64(m)
+					}
+					used = true
+				}
+			}
+			if !used {
+				continue
+			}
+			e.feedRow(ps, row)
+			fed++
 		}
 	}
-	if sign < 0 {
-		for _, x := range ray {
-			x.Neg(x)
-		}
-	}
-	for _, x := range ray {
-		if x.Sign() <= 0 {
-			return nil
-		}
-	}
-	return ray
 }
 
 // weights folds the basis ray into per-level-0-class weights.

@@ -129,6 +129,16 @@ type Tree struct {
 	// on IDs to detect that the prefix they consumed was rewritten; they
 	// compare generations instead.
 	gen uint64
+
+	// mut counts every structural mutation (AddChild, AddRed,
+	// TruncateLevels); it stamps the balance-pair cache below. The cache
+	// makes repeated solver passes over a quiescent tree O(levels) instead
+	// of O(levels²) in pair enumerations. Reading through the cache mutates
+	// it, so a Tree is not safe for concurrent use even read-only — which
+	// matches how every consumer already treats it (one tree per process).
+	mut        uint64
+	pairsMut   uint64
+	pairsLevel [][]nodePair
 }
 
 // New returns a tree containing only the root node, with ID RootID.
@@ -251,6 +261,7 @@ func (t *Tree) AddChild(id int, parent *Node, input Input) (*Node, error) {
 		return nil, fmt.Errorf("historytree: node %d at level %d but deepest level is %d",
 			id, level, t.Depth())
 	}
+	t.mut++
 	node := t.newNode()
 	node.ID = id
 	node.Level = level
@@ -278,6 +289,7 @@ func (t *Tree) AddRed(v, src *Node, mult int) error {
 	if src.Level != v.Level-1 {
 		return fmt.Errorf("historytree: red edge from level %d to level %d", src.Level, v.Level)
 	}
+	t.mut++
 	for i := range v.Red {
 		if v.Red[i].Src == src {
 			v.Red[i].Mult += mult
@@ -305,6 +317,7 @@ func (t *Tree) TruncateLevels(from int) {
 		return
 	}
 	t.gen++
+	t.mut++
 	for _, level := range t.levels[idx:] {
 		for _, node := range level {
 			t.byID[node.ID+1] = nil

@@ -440,6 +440,9 @@ func (m *Manager) runJob(job *Job) {
 
 	switch {
 	case err == nil:
+		m.Metrics.SolverCRTRecons.Add(int64(res.Stats.SolverCRTRecons))
+		m.Metrics.SolverEvictions.Add(int64(res.Stats.SolverEvictions))
+		m.Metrics.SolverWitnessFalls.Add(int64(res.Stats.SolverWitnessFalls))
 		r := NewResult(res)
 		m.cache.Put(job.Hash, r)
 		m.storeWrite(job.Hash, r)

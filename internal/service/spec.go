@@ -77,6 +77,13 @@ type JobSpec struct {
 	// them as the same simulation), so this is a performance/debugging
 	// knob, not a semantic one.
 	Scheduler string `json:"scheduler,omitempty"`
+	// Arithmetic selects the counting solver's exact-arithmetic backend:
+	// "" or "modular" for the multi-modular residue/CRT default, "big"
+	// for the fraction-free big.Int eliminator kept as the exactness
+	// witness. Both backends produce identical results (pinned by the
+	// solver equivalence suite), so like Scheduler this is a
+	// performance/debugging knob the spec hash ignores.
+	Arithmetic string `json:"arithmetic,omitempty"`
 	// Faults is a fault-plan spec layered over the adversary (see
 	// internal/faults.Parse for the grammar, e.g. "spike:8:0"). Empty
 	// means fault-free. Out-of-model plans (drop, crash) require a
@@ -112,6 +119,9 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.Scheduler == "sequential" {
 		s.Scheduler = "" // the default, spelled out
+	}
+	if s.Arithmetic == "modular" {
+		s.Arithmetic = "" // the default, spelled out
 	}
 	s.Faults = strings.TrimSpace(s.Faults)
 	if s.Faults == "" {
@@ -151,6 +161,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Scheduler != "" && s.Scheduler != "concurrent" {
 		return fmt.Errorf("unknown scheduler %q (have sequential, concurrent)", s.Scheduler)
+	}
+	if s.Arithmetic != "" && s.Arithmetic != "big" {
+		return fmt.Errorf("unknown arithmetic %q (have modular, big)", s.Arithmetic)
 	}
 	if len(s.Inputs) > 0 && len(s.Inputs) != s.N {
 		return fmt.Errorf("%d input values for %d processes", len(s.Inputs), s.N)
@@ -197,8 +210,11 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) Hash() string {
 	s.Normalize()
 	// Both schedulers produce identical results (the engine's equivalence
-	// contract), so the choice must not fragment the result cache.
+	// contract), so the choice must not fragment the result cache; the
+	// same holds for the arithmetic backends (the solver's equivalence
+	// contract).
 	s.Scheduler = ""
+	s.Arithmetic = ""
 	// The deadline only decides when a non-terminating run is abandoned;
 	// completed results are independent of it, and failed runs are never
 	// cached, so it must not fragment the cache either. Faults and
@@ -271,6 +287,9 @@ func (s JobSpec) config() core.Config {
 		BatchSize:        s.Batch,
 		KeepAllLinks:     s.KeepAll,
 		EagerTermination: s.Eager,
+	}
+	if s.Arithmetic == "big" {
+		cfg.Arithmetic = historytree.ArithBig
 	}
 	if s.Leaderless {
 		cfg.Mode = core.ModeLeaderless

@@ -19,19 +19,41 @@ type Timing struct {
 	// counting solver, over SolverCalls invocations.
 	SolverTime  time.Duration
 	SolverCalls int
+	// Multi-modular solver counters (zero under the big.Int backend):
+	// battery primes in use at termination, CRT ray reconstructions,
+	// unlucky-prime evictions, and fallbacks to the big.Int witness.
+	SolverPrimes       int
+	SolverCRTRecons    int
+	SolverEvictions    int
+	SolverWitnessFalls int
 }
 
 // TimingOf extracts the timing view of a run's statistics.
 func TimingOf(st core.RunStats) *Timing {
-	return &Timing{WallClock: st.WallClock, SolverTime: st.SolverTime, SolverCalls: st.SolverCalls}
+	return &Timing{
+		WallClock:          st.WallClock,
+		SolverTime:         st.SolverTime,
+		SolverCalls:        st.SolverCalls,
+		SolverPrimes:       st.SolverPrimes,
+		SolverCRTRecons:    st.SolverCRTRecons,
+		SolverEvictions:    st.SolverEvictions,
+		SolverWitnessFalls: st.SolverWitnessFalls,
+	}
 }
 
 // Add accumulates another run's timing into t (for sweep points that
-// aggregate several seeds).
+// aggregate several seeds). The battery size takes the maximum rather
+// than the sum — it is a high-water mark, not a volume.
 func (t *Timing) Add(o *Timing) {
 	t.WallClock += o.WallClock
 	t.SolverTime += o.SolverTime
 	t.SolverCalls += o.SolverCalls
+	if o.SolverPrimes > t.SolverPrimes {
+		t.SolverPrimes = o.SolverPrimes
+	}
+	t.SolverCRTRecons += o.SolverCRTRecons
+	t.SolverEvictions += o.SolverEvictions
+	t.SolverWitnessFalls += o.SolverWitnessFalls
 }
 
 // WallMS returns the wall clock in milliseconds.
@@ -46,6 +68,16 @@ func (t *Timing) String() string {
 	if t.WallClock > 0 {
 		share = 100 * float64(t.SolverTime) / float64(t.WallClock)
 	}
-	return fmt.Sprintf("wall %.1fms, solver %.1fms (%.0f%%, %d calls)",
+	s := fmt.Sprintf("wall %.1fms, solver %.1fms (%.0f%%, %d calls)",
 		t.WallMS(), t.SolverMS(), share, t.SolverCalls)
+	if t.SolverPrimes > 0 {
+		s += fmt.Sprintf(", %d primes, %d crt", t.SolverPrimes, t.SolverCRTRecons)
+		if t.SolverEvictions > 0 {
+			s += fmt.Sprintf(", %d evictions", t.SolverEvictions)
+		}
+		if t.SolverWitnessFalls > 0 {
+			s += fmt.Sprintf(", %d witness falls", t.SolverWitnessFalls)
+		}
+	}
+	return s
 }
