@@ -34,6 +34,7 @@ func main() {
 		benchMatch = flag.String("bench", "", "run only suite entries whose name contains this substring")
 		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a runtime/pprof allocation profile of the run to this file")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; 1 = sequential, for noise-sensitive runs)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		Filter:     *benchMatch,
 		CPUProfile: *cpuProfile,
 		MemProfile: *memProfile,
+		Workers:    *workers,
 	}
 	if err := runSuite(opts, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)

@@ -59,7 +59,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		keepAll    = fs.Bool("keepall", false, "ablation: disable the Section 3.4 spanning-tree restriction")
 		eager      = fs.Bool("eager", false, "skip the confirmation window (pseudocode-literal termination)")
 		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
-		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution) or concurrent")
+		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution), parallel (sharded workers), or concurrent")
+		compact    = fs.Bool("compact", false, "release consumed VHT levels (O(active view) memory; incompatible with faulty resets that rewind far)")
 		arith      = fs.String("arith", "modular", "counting-solver arithmetic: modular (residue/CRT) or big (big.Int witness)")
 		faultsFlag = fs.String("faults", "", "fault plan layered over the adversary, e.g. spike:8:0 or cut:3:20,storm:1:0:2 (see internal/faults)")
 		faultSeed  = fs.Int64("faultseed", 0, "fault-plan RNG seed (only the drop fault consumes it)")
@@ -70,7 +71,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
 		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler,
-		*arith, *faultsFlag, *faultSeed, *deadline)
+		*compact, *arith, *faultsFlag, *faultSeed, *deadline)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
 		return 2
@@ -87,7 +88,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
 	fine bool, batch int, keepAll, eager bool, scheduler string,
-	arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
+	compact bool, arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
 		Topology:   topology,
@@ -102,6 +103,7 @@ func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 		KeepAll:    keepAll,
 		Eager:      eager,
 		Scheduler:  scheduler,
+		CompactVHT: compact,
 		Arithmetic: arith,
 		Faults:     faultsSpec,
 		FaultSeed:  faultSeed,
@@ -163,6 +165,11 @@ func run(spec service.JobSpec, showTree, traceOn bool, w io.Writer) error {
 		fmt.Fprintf(w, "solver: calls=%d primes=%d crtRecons=%d evictions=%d witnessFalls=%d\n",
 			res.Stats.SolverCalls, res.Stats.SolverPrimes, res.Stats.SolverCRTRecons,
 			res.Stats.SolverEvictions, res.Stats.SolverWitnessFalls)
+	}
+	if res.Stats.CompactedLevels > 0 {
+		fmt.Fprintf(w, "compaction: levels=%d nodesFreed=%d resident=%d peakResident=%d\n",
+			res.Stats.CompactedLevels, res.Stats.CompactedNodes,
+			res.Stats.ResidentNodes, res.Stats.PeakResidentNodes)
 	}
 	if showTree && res.VHT != nil {
 		fmt.Fprintln(w, "virtual history tree:")

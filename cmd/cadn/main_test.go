@@ -162,7 +162,8 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{name: "isolator-with-T", mut: func(a *args) { a.topology = "isolator"; a.blockT = 3 }, wantErr: "isolator"},
 		{name: "inputs-count-mismatch", mut: func(a *args) { a.inputs = "1,2" }, wantErr: "input values"},
 		{name: "inputs-not-numeric", mut: func(a *args) { a.inputs = "a,b,c,d" }, wantErr: "-inputs value"},
-		{name: "unknown-scheduler", mut: func(a *args) { a.scheduler = "parallel" }, wantErr: "unknown scheduler"},
+		{name: "unknown-scheduler", mut: func(a *args) { a.scheduler = "threads" }, wantErr: "unknown scheduler"},
+		{name: "parallel-scheduler-ok", mut: func(a *args) { a.scheduler = "parallel" }, wantErr: ""},
 		{name: "unknown-arithmetic", mut: func(a *args) { a.arith = "float" }, wantErr: "unknown arithmetic"},
 		{name: "big-arithmetic-ok", mut: func(a *args) { a.arith = "big" }, wantErr: ""},
 		{name: "malformed-faults", mut: func(a *args) { a.faults = "spike:1" }, wantErr: "invalid fault plan"},
@@ -182,7 +183,7 @@ func TestValidateFlagCombinations(t *testing.T) {
 			tt.mut(&a)
 			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
 				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler,
-				a.arith, a.faults, a.faultSeed, a.deadlineMS)
+				false, a.arith, a.faults, a.faultSeed, a.deadlineMS)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -112,6 +112,31 @@ func TestSweepReturnsFirstErrorByIndex(t *testing.T) {
 	}
 }
 
+// TestSweepWorkersBound pins SetSweepWorkers: with the pool forced to 1 the
+// sweep must never run two points concurrently, and the previous setting is
+// returned for restore.
+func TestSweepWorkersBound(t *testing.T) {
+	prev := SetSweepWorkers(1)
+	defer SetSweepWorkers(prev)
+	var inFlight, maxSeen atomic.Int32
+	err := sweep(20, func(i int) error {
+		if cur := inFlight.Add(1); cur > maxSeen.Load() {
+			maxSeen.Store(cur)
+		}
+		defer inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen.Load() != 1 {
+		t.Fatalf("saw %d concurrent points with a 1-worker pool", maxSeen.Load())
+	}
+	if got := SetSweepWorkers(0); got != 1 {
+		t.Fatalf("SetSweepWorkers returned %d, want the prior value 1", got)
+	}
+}
+
 // TestE2ParallelIsDeterministic pins the byte-identical-tables contract:
 // the pooled sweep must assemble exactly the rows a sequential run would.
 func TestE2ParallelIsDeterministic(t *testing.T) {

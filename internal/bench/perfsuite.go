@@ -45,6 +45,10 @@ func PerfSuite() []NamedBench {
 		// the scaling point the modular solver makes affordable.
 		{Name: "E2Count/n=24", Bench: e2Bench(24, false)},
 		{Name: "E2Count/n=48", Bench: e2Bench(48, false)},
+		// n=96 is the routine-scale target of the PR 8 scheduler/compaction
+		// work: one full counting run at double the previous largest point,
+		// kept in the suite so its cost curve is tracked like any other.
+		{Name: "E2Count/n=96", Bench: e2Bench(96, false)},
 		// The fault sweep records what in-model faults cost: the spike
 		// drives the error/reset machinery (more rounds, same answer), the
 		// storm multiplies delivered links (more per-round work). They
@@ -58,6 +62,7 @@ func PerfSuite() []NamedBench {
 		{Name: "EngineDeliverDense/n=32", Bench: engineBench(32, engine.SchedulerSequential)},
 		{Name: "EngineSchedulerSequential/n=32", Bench: engineBench(32, engine.SchedulerSequential)},
 		{Name: "EngineSchedulerConcurrent/n=32", Bench: engineBench(32, engine.SchedulerConcurrent)},
+		{Name: "EngineSchedulerParallel/n=32", Bench: engineBench(32, engine.SchedulerParallel)},
 	}
 	return suite
 }

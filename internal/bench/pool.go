@@ -3,7 +3,23 @@ package bench
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// sweepWorkers overrides the sweep pool size; 0 (the default) means
+// GOMAXPROCS. Set it via SetSweepWorkers / SuiteOptions.Workers — sweeps on
+// a shared or single-core host can be throttled (or forced serial with 1)
+// without touching GOMAXPROCS for the code under measurement.
+var sweepWorkers atomic.Int32
+
+// SetSweepWorkers sets the sweep pool size and returns the previous value
+// so callers can restore it. w <= 0 restores the GOMAXPROCS default.
+func SetSweepWorkers(w int) int {
+	if w < 0 {
+		w = 0
+	}
+	return int(sweepWorkers.Swap(int32(w)))
+}
 
 // sweep runs fn(i) for every i in [0, points) across a bounded worker pool
 // and returns the first error in index order. Sweep points must be
@@ -14,7 +30,10 @@ func sweep(points int, fn func(i int) error) error {
 	if points <= 0 {
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := int(sweepWorkers.Load())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > points {
 		workers = points
 	}

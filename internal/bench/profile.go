@@ -26,6 +26,11 @@ type SuiteOptions struct {
 	// Progress, if non-nil, is called with each entry's name before it
 	// runs.
 	Progress func(name string)
+	// Workers bounds the sweep worker pool (see SetSweepWorkers) for the
+	// duration of the run. 0 keeps the GOMAXPROCS default. Benchmarks that
+	// share the host with other work — or that want sequential, minimally
+	// noisy measurements — set 1.
+	Workers int
 }
 
 // RunPerfSuiteOpts executes the benchmark-regression suite subject to the
@@ -35,6 +40,10 @@ type SuiteOptions struct {
 // perf investigation starts from a pprof flame graph of exactly the code
 // the regression suite measures.
 func RunPerfSuiteOpts(opts SuiteOptions) (PerfReport, error) {
+	if opts.Workers > 0 {
+		prev := SetSweepWorkers(opts.Workers)
+		defer SetSweepWorkers(prev)
+	}
 	suite := PerfSuite()
 	if opts.Filter != "" {
 		kept := suite[:0]

@@ -96,6 +96,17 @@ type Config struct {
 	// code did. It exists as an ablation for benchmarks, which measure the
 	// incremental speedup against it in the same binary.
 	FromScratchCount bool
+	// CompactVHT enables history-level compaction (DESIGN.md decision 14):
+	// once the counting solver has consumed a level's balance equations and
+	// the protocol has moved a safety lag past it, the process releases the
+	// level's node and edge storage via historytree.CompactLevels, keeping
+	// resident memory O(active view) instead of O(rounds). The incremental
+	// solver replays from its recorded skeleton, so answers are unchanged.
+	// Incompatible with FromScratchCount (the from-scratch solver walks
+	// parent chains into the released region). A reset that would rewind
+	// into compacted history aborts the process with a structured error; on
+	// fault-heavy schedules prefer leaving compaction off in leader mode.
+	CompactVHT bool
 	// Recorder, if non-nil, receives instrumentation events (resets,
 	// accepted messages, per-level ID assignments). Nil disables recording.
 	Recorder *Recorder
@@ -132,6 +143,9 @@ func (c Config) Validate(inputs []historytree.Input) error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("core: negative BatchSize %d", c.BatchSize)
+	}
+	if c.CompactVHT && c.FromScratchCount {
+		return fmt.Errorf("core: CompactVHT requires the incremental solver (FromScratchCount re-reads released levels)")
 	}
 	return nil
 }

@@ -156,6 +156,9 @@ func (p *Process) performLevelReset(resetLevel, newDiam int) error {
 	if !ok {
 		return fmt.Errorf("core: reset to level %d, which this process never started", resetLevel)
 	}
+	if c := p.vht.CompactedLevels(); c > 0 && resetLevel <= c {
+		return fmt.Errorf("core: reset to level %d outran the CompactVHT lag (levels 1..%d released); disable CompactVHT under faulty schedules", resetLevel, c)
+	}
 	p.myID = snap.myID
 	p.nextFreshID = snap.nextFreshID
 	p.vht.TruncateLevels(resetLevel)
@@ -198,6 +201,9 @@ func (p *Process) performFineReset(index, newDiam int) error {
 	}
 	if !found {
 		return fmt.Errorf("core: no snapshot covers journal index %d", index)
+	}
+	if c := p.vht.CompactedLevels(); c > 0 && level <= c {
+		return fmt.Errorf("core: reset to level %d outran the CompactVHT lag (levels 1..%d released); disable CompactVHT under faulty schedules", level, c)
 	}
 	snap := p.snapshots[level]
 	p.myID = snap.myID

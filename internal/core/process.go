@@ -276,7 +276,38 @@ func (p *Process) mainLoop() (any, error) {
 		if p.outputDue() {
 			return p.emitPending()
 		}
+		p.maybeCompact()
 		p.currentLevel++
+	}
+}
+
+// compactLag is the number of completed levels kept live behind the
+// construction frontier when CompactVHT is on. The protocol itself only
+// re-reads the previous level (setUpNewLevel) and level 0 (acceptInput,
+// answer extraction), so the lag exists purely as reset headroom in
+// leader mode; a reset that outruns it aborts with a structured error
+// (see performLevelReset). Late levels carry up to n classes each, so the
+// lag directly bounds resident memory at ≈ (lag+2)·n nodes — small enough
+// for the ≥4× reduction on deep runs, large enough that resets (which
+// target the level in construction or one just voided) stay inside it.
+const compactLag = 4
+
+// maybeCompact releases consumed history levels once they are compactLag
+// levels behind the construction frontier. Counting processes (the leader,
+// every leaderless process) additionally stay behind the solver's
+// consumption frontier, so its recorded replay skeleton always covers the
+// released region; non-leaders in leader mode never count and rely on the
+// lag alone.
+func (p *Process) maybeCompact() {
+	if !p.cfg.CompactVHT {
+		return
+	}
+	keep := p.currentLevel - compactLag
+	if p.input.Leader || p.cfg.Mode == ModeLeaderless {
+		keep = min(keep, p.solver.ConsumedLevel())
+	}
+	if keep > 1 {
+		p.vht.CompactLevels(keep)
 	}
 }
 
@@ -391,6 +422,7 @@ func (p *Process) mainLoopLeaderless() (any, error) {
 				Solver:            p.solverStats(),
 			}, nil
 		}
+		p.maybeCompact()
 		p.currentLevel++
 	}
 }

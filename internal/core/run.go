@@ -44,6 +44,16 @@ type RunStats struct {
 	SolverCRTRecons    int
 	SolverEvictions    int
 	SolverWitnessFalls int
+	// History-tree residency counters of the deciding process (all zero
+	// when its tree was discarded, e.g. Halt mid-level): CompactedLevels is
+	// the deepest level released by CompactVHT compaction, CompactedNodes
+	// the total nodes released, ResidentNodes the nodes still live at
+	// termination, and PeakResidentNodes the lifetime high-water mark — the
+	// number the O(active view) memory claim is about.
+	CompactedLevels   int
+	CompactedNodes    int
+	ResidentNodes     int
+	PeakResidentNodes int
 }
 
 // RunResult is the outcome of a complete protocol run.
@@ -86,8 +96,11 @@ type RunOptions struct {
 	Trace func(round int, sent []engine.Message)
 	// Scheduler selects the engine's execution strategy. The zero value is
 	// engine.SchedulerSequential, the direct-execution default;
-	// engine.SchedulerConcurrent runs the processes in parallel (slower,
-	// kept for the equivalence contract and race coverage).
+	// engine.SchedulerParallel shards the process ring across GOMAXPROCS
+	// workers with a two-phase barrier (same Result and Trace, less wall
+	// clock on multi-core hosts); engine.SchedulerConcurrent runs every
+	// process on its own goroutine (slower, kept for the equivalence
+	// contract and race coverage).
 	Scheduler engine.Scheduler
 }
 
@@ -184,6 +197,7 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.Stats.Levels = leaderOut.Levels
 		out.Stats.FinalDiamEstimate = leaderOut.FinalDiamEstimate
 		out.Stats.absorbSolver(leaderOut.Solver)
+		out.Stats.absorbTree(leaderOut.VHT)
 		if cfg.SimultaneousHalt {
 			if err := checkSimultaneous(out.Outputs, n, leaderOut.N); err != nil {
 				return nil, err
@@ -215,6 +229,7 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 		out.Stats.Levels = first.Levels
 		out.Stats.FinalDiamEstimate = first.FinalDiamEstimate
 		out.Stats.absorbSolver(first.Solver)
+		out.Stats.absorbTree(first.VHT)
 	}
 	return out, nil
 }
@@ -228,6 +243,19 @@ func (st *RunStats) absorbSolver(s historytree.SolverStats) {
 	st.SolverCRTRecons = s.CRTReconstructions
 	st.SolverEvictions = s.UnluckyEvictions
 	st.SolverWitnessFalls = s.WitnessFallbacks
+}
+
+// absorbTree copies the deciding process's history-tree residency
+// counters into the run's stats. The tree is nil when the process halted
+// mid-level (SimultaneousHalt); the counters then stay zero.
+func (st *RunStats) absorbTree(t *historytree.Tree) {
+	if t == nil {
+		return
+	}
+	st.CompactedLevels = t.CompactedLevels()
+	st.CompactedNodes = t.CompactedNodes()
+	st.ResidentNodes = t.NumNodes()
+	st.PeakResidentNodes = t.PeakResidentNodes()
 }
 
 // defaultMaxRounds derives a generous safety cap: the paper's bound is

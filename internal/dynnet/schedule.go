@@ -39,7 +39,7 @@ type StaticSchedule struct {
 	g *Multigraph
 }
 
-var _ Schedule = (*StaticSchedule)(nil)
+var _ InPlaceSchedule = (*StaticSchedule)(nil)
 
 // NewStatic returns a schedule that presents g at every round.
 func NewStatic(g *Multigraph) *StaticSchedule {
@@ -51,6 +51,15 @@ func (s *StaticSchedule) N() int { return s.g.N() }
 
 // Graph implements Schedule.
 func (s *StaticSchedule) Graph(int) *Multigraph { return s.g.Clone() }
+
+// GraphInto implements InPlaceSchedule: the fixed graph copied into g's
+// reused storage. The copy is installed pre-canonicalized, so a static
+// simulation round neither allocates nor re-sorts.
+func (s *StaticSchedule) GraphInto(_ int, g *Multigraph) {
+	src := s.g.canonicalize()
+	g.Reset(s.g.n)
+	g.setCanonicalLinks(append(g.links, src...))
+}
 
 // FuncSchedule adapts a plain function to the Schedule interface.
 type FuncSchedule struct {

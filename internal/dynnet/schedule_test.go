@@ -25,6 +25,22 @@ func TestStaticSchedule(t *testing.T) {
 	}
 }
 
+// TestStaticGraphInto pins the allocation-free path: GraphInto must match
+// Graph exactly (even into a buffer that held a different graph), and a
+// warm buffer refill must not allocate.
+func TestStaticGraphInto(t *testing.T) {
+	s := NewStatic(Cycle(6))
+	buf := NewMultigraph(6)
+	buf.MustAddLink(0, 5, 3) // stale content GraphInto must clear
+	s.GraphInto(1, buf)
+	if !sameGraph(s.Graph(1), buf) {
+		t.Fatalf("GraphInto diverged from Graph: %s != %s", buf, s.Graph(1))
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.GraphInto(2, buf) }); allocs != 0 {
+		t.Fatalf("warm GraphInto allocated %.1f times per call", allocs)
+	}
+}
+
 func TestSequenceSchedule(t *testing.T) {
 	a, b := Path(3), Cycle(3)
 	s, err := NewSequence(a, b)

@@ -9,15 +9,20 @@
 // to the schedule, and accounts for message sizes so congestion bounds can
 // be asserted.
 //
-// Two schedulers execute the same semantics (see Scheduler):
+// Three schedulers execute the same semantics (see Scheduler):
 //
 //   - SchedulerSequential (the default) runs each process as a pull
 //     coroutine and resumes them one at a time by direct coroutine switch —
 //     no channels, no scheduler queueing, no contention — so the per-round
 //     cost is the protocol's own work plus the shared routing.
+//   - SchedulerParallel shards the process ring across min(GOMAXPROCS, n)
+//     workers, each round a parallel compute/submit phase followed by a
+//     single-threaded route+deliver phase under a two-phase barrier —
+//     the throughput choice once per-round protocol work dwarfs the
+//     barrier's O(shards) channel operations.
 //   - SchedulerConcurrent runs every process goroutine in parallel under a
-//     central coordinator. It is retained for the sequential-vs-concurrent
-//     equivalence contract (DESIGN.md §6) and race-detector coverage.
+//     central coordinator. It is retained for the scheduler equivalence
+//     contract (DESIGN.md §6) and race-detector coverage.
 //
 // State machines (Stepper) can additionally run on RunSteppers, a plain
 // function-call round loop with zero synchronization.
@@ -119,6 +124,17 @@ const (
 	// interleavings; cancellation is additionally observed while waiting
 	// for submissions.
 	SchedulerConcurrent
+	// SchedulerParallel shards the process ring across min(GOMAXPROCS, n)
+	// workers. Each round is a parallel compute/submit phase — every worker
+	// resumes its own processes as pull coroutines, writing only pid-indexed
+	// state its shard owns — followed by a route+deliver phase on the
+	// runner's goroutine through the same shared router as the other
+	// schedulers, under a lightweight two-phase barrier (one command send
+	// and one reply receive per shard) instead of the sequential runner's
+	// n+1 coroutine handoffs. Results and traces are byte-identical to the
+	// other schedulers (equivalence_test.go); this is the throughput choice
+	// for large n, where per-round protocol work dominates the barrier cost.
+	SchedulerParallel
 )
 
 // String implements fmt.Stringer.
@@ -128,6 +144,8 @@ func (s Scheduler) String() string {
 		return "sequential"
 	case SchedulerConcurrent:
 		return "concurrent"
+	case SchedulerParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Scheduler(%d)", int(s))
 	}
@@ -193,7 +211,7 @@ func (cfg *Config) validate(procs int) (int, error) {
 		return 0, fmt.Errorf("engine: non-positive MaxRounds %d", cfg.MaxRounds)
 	}
 	switch cfg.Scheduler {
-	case SchedulerSequential, SchedulerConcurrent:
+	case SchedulerSequential, SchedulerConcurrent, SchedulerParallel:
 	default:
 		return 0, fmt.Errorf("engine: unknown scheduler %d", int(cfg.Scheduler))
 	}
@@ -253,6 +271,9 @@ func RunContext(ctx context.Context, cfg Config, procs []Coroutine) (*Result, er
 		}
 		return s.run(procs)
 	}
+	if cfg.Scheduler == SchedulerParallel {
+		return newParRunner(ctx, cfg, n).run(procs)
+	}
 	c := &coordinator{
 		cfg:    cfg,
 		ctx:    ctx,
@@ -308,12 +329,13 @@ type coordinator struct {
 }
 
 // Transport is the per-process communication endpoint handed to
-// Coroutine.Run. Exactly one of coord and seq is set, matching the
+// Coroutine.Run. Exactly one of coord, seq, and par is set, matching the
 // scheduler the run was started under.
 type Transport struct {
 	pid   int
 	coord *coordinator
 	seq   *seqRunner
+	par   *parRunner
 	round int
 }
 
@@ -338,6 +360,9 @@ func (t *Transport) Round() int { return t.round }
 func (t *Transport) SendAndReceive(msg Message) ([]Message, error) {
 	if t.seq != nil {
 		return t.seq.sendAndReceive(t, msg)
+	}
+	if t.par != nil {
+		return t.par.sendAndReceive(t, msg)
 	}
 	select {
 	case t.coord.events <- event{pid: t.pid, kind: evSubmit, msg: msg}:

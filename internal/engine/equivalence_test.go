@@ -10,15 +10,15 @@ import (
 	"anondyn/internal/dynnet"
 )
 
-// The sequential-vs-concurrent equivalence contract (DESIGN.md §6): both
-// schedulers — and the RunSteppers fast path — must produce byte-identical
-// Results (Rounds, Outputs, MaxMessageBits, TotalMessages, TotalBits) and
+// The scheduler equivalence contract (DESIGN.md §6): all three schedulers
+// — and the RunSteppers fast path — must produce byte-identical Results
+// (Rounds, Outputs, MaxMessageBits, TotalMessages, TotalBits) and
 // identical Trace streams for any deterministic protocol, because they
 // share the routing core and differ only in how control moves between the
 // processes and the round barrier.
 
-// schedulers lists the two coroutine schedulers under test.
-var schedulers = []Scheduler{SchedulerSequential, SchedulerConcurrent}
+// schedulers lists the three coroutine schedulers under test.
+var schedulers = []Scheduler{SchedulerSequential, SchedulerConcurrent, SchedulerParallel}
 
 // mixedProc is a deterministic protocol with per-process lifetimes: process
 // pid runs base+pid%3 rounds, sends pid*1000+round, and returns the sorted
@@ -146,13 +146,15 @@ func TestSchedulerEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("sequential: %v", err)
 					}
-					cfg = fam.cfg()
-					cfg.MaxRounds = 100
-					conRes, conTrace, err := runUnder(t, SchedulerConcurrent, cfg, n, base)
-					if err != nil {
-						t.Fatalf("concurrent: %v", err)
+					for _, sched := range schedulers[1:] {
+						cfg = fam.cfg()
+						cfg.MaxRounds = 100
+						res, trace, err := runUnder(t, sched, cfg, n, base)
+						if err != nil {
+							t.Fatalf("%v: %v", sched, err)
+						}
+						assertSameRun(t, seqRes, res, seqTrace, trace)
 					}
-					assertSameRun(t, seqRes, conRes, seqTrace, conTrace)
 				})
 			}
 		}
@@ -200,8 +202,11 @@ func TestSchedulerEquivalenceStopWhen(t *testing.T) {
 		}
 		got[sched] = outcome{res: res, trace: *log}
 	}
-	seq, con := got[SchedulerSequential], got[SchedulerConcurrent]
-	assertSameRun(t, seq.res, con.res, seq.trace, con.trace)
+	seq := got[SchedulerSequential]
+	for _, sched := range schedulers[1:] {
+		other := got[sched]
+		assertSameRun(t, seq.res, other.res, seq.trace, other.trace)
+	}
 }
 
 // TestSchedulerEquivalenceBitLimit pins the BitLimit semantics: the first

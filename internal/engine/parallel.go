@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+)
+
+// parCmd is a shard worker instruction: run the owned processes to their
+// first submission, or deliver the routed round and resume them.
+type parCmd int
+
+const (
+	parStart parCmd = iota + 1
+	parDeliver
+)
+
+// parShard is one worker's slice of the process ring: the contiguous pid
+// range [lo, hi) it owns, its command channel, and a reusable buffer of the
+// pids that completed during the last phase. Only the owning worker writes
+// doneBuf; the runner reads it after the worker's barrier reply.
+type parShard struct {
+	lo, hi  int
+	cmd     chan parCmd
+	doneBuf []int
+}
+
+// parRunner is the sharded parallel scheduler. The process ring is split
+// into min(GOMAXPROCS, n) contiguous shards, each owned by one worker
+// goroutine that hosts its processes as pull coroutines (exactly like the
+// sequential runner's). Every round has two phases:
+//
+//   - compute/submit: the runner broadcasts a deliver command and every
+//     worker resumes its own processes in pid order, each running to its
+//     next SendAndReceive submission. All per-process state (state, pending,
+//     inbox, done, and the coroutine handles) is indexed by pid and each pid
+//     belongs to exactly one shard, so workers never write the same memory.
+//   - route+deliver: the runner, having collected every worker's barrier
+//     reply, routes the submissions through the shared router on its own
+//     goroutine — the same single-threaded router the other schedulers use,
+//     which is what keeps accounting, Trace, and BitLimitError byte-identical.
+//
+// The two-phase barrier is a command send plus a reply receive per shard
+// (O(shards) channel operations per round) replacing the sequential
+// scheduler's n+1 coroutine handoffs of protocol work with parallel
+// execution. The channel operations also carry the memory-model edges: the
+// command send publishes the runner's routed buffers to the worker, the
+// reply publishes the worker's submissions and completions back.
+//
+// Completions are merged on the runner in global pid order (shards are
+// contiguous and workers scan in pid order), so error selection and
+// StopWhen observation are as deterministic as the sequential scheduler's
+// sweep. A process that runs one round past a stop trigger — unavoidable
+// when its shard already resumed it — matches the concurrent coordinator's
+// semantics: its output, if it finished, is still collected, exactly like
+// the shutdown drain.
+type parRunner struct {
+	cfg     Config
+	ctx     context.Context
+	wd      watchdog
+	n       int
+	rt      *router
+	state   []procState
+	pending []Message
+
+	// Per-process pull coroutine handles, identical in role to seqRunner's:
+	// next resumes to the next submission or return, stop unwinds, yield is
+	// captured by the coroutine body, inbox is the delivery slot, done the
+	// output slot.
+	next  []func() (struct{}, bool)
+	stop  []func()
+	yield []func(struct{}) bool
+	inbox [][]Message
+	done  []seqDone
+
+	procs   []Coroutine
+	out     [][]Message // routed deliveries, published to workers by the deliver command
+	shards  []parShard
+	replies chan int
+	wg      sync.WaitGroup
+
+	alive    int
+	stopping bool
+	runErr   error
+}
+
+// newParRunner sizes the shard set for n processes.
+func newParRunner(ctx context.Context, cfg Config, n int) *parRunner {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &parRunner{
+		cfg:     cfg,
+		ctx:     ctx,
+		wd:      newWatchdog(cfg.Deadline),
+		n:       n,
+		rt:      newRouter(&cfg, n),
+		state:   make([]procState, n),
+		pending: make([]Message, n),
+		next:    make([]func() (struct{}, bool), n),
+		stop:    make([]func(), n),
+		yield:   make([]func(struct{}) bool, n),
+		inbox:   make([][]Message, n),
+		done:    make([]seqDone, n),
+		shards:  make([]parShard, workers),
+		replies: make(chan int, workers),
+	}
+	base, rem := n/workers, n%workers
+	lo := 0
+	for i := range p.shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		p.shards[i] = parShard{lo: lo, hi: lo + size, cmd: make(chan parCmd, 1)}
+		lo += size
+	}
+	return p
+}
+
+// sendAndReceive is Transport.SendAndReceive under the parallel scheduler:
+// the same direct coroutine switch as the sequential runner's, except the
+// switch returns control to the owning shard worker instead of the runner.
+func (p *parRunner) sendAndReceive(t *Transport, msg Message) ([]Message, error) {
+	if p.stopping {
+		return nil, ErrStopped
+	}
+	p.state[t.pid] = stateWaiting
+	p.pending[t.pid] = msg
+	if !p.yield[t.pid](struct{}{}) {
+		return nil, ErrStopped
+	}
+	t.round++
+	return p.inbox[t.pid], nil
+}
+
+// startProc creates the pull coroutine for one process, mirroring the
+// sequential runner.
+func (p *parRunner) startProc(pid int, proc Coroutine) {
+	tr := &Transport{pid: pid, par: p}
+	p.next[pid], p.stop[pid] = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield[pid] = yield
+		out, err := proc.Run(tr)
+		p.done[pid] = seqDone{output: out, err: err, finished: true}
+	})
+}
+
+// worker owns one shard: it services start and deliver commands, resuming
+// its processes in pid order and recording completions in its doneBuf, and
+// replies on the shared barrier channel after each phase.
+func (p *parRunner) worker(i int) {
+	defer p.wg.Done()
+	sh := &p.shards[i]
+	for cmd := range sh.cmd {
+		sh.doneBuf = sh.doneBuf[:0]
+		switch cmd {
+		case parStart:
+			for pid := sh.lo; pid < sh.hi; pid++ {
+				p.state[pid] = stateRunning
+				p.startProc(pid, p.procs[pid])
+				if _, ok := p.next[pid](); !ok {
+					p.state[pid] = stateDone
+					sh.doneBuf = append(sh.doneBuf, pid)
+				}
+			}
+		case parDeliver:
+			for pid := sh.lo; pid < sh.hi; pid++ {
+				if p.state[pid] != stateWaiting {
+					continue
+				}
+				p.state[pid] = stateRunning
+				p.inbox[pid] = p.out[pid]
+				if _, ok := p.next[pid](); !ok {
+					p.state[pid] = stateDone
+					sh.doneBuf = append(sh.doneBuf, pid)
+				}
+			}
+		}
+		p.replies <- i
+	}
+}
+
+// barrier runs one phase on every shard and waits for all replies. The
+// reply count, not identity, is the synchronization; the pending and state
+// arrays are consistent once every shard has replied.
+func (p *parRunner) barrier(cmd parCmd) {
+	for i := range p.shards {
+		p.shards[i].cmd <- cmd
+	}
+	for range p.shards {
+		<-p.replies
+	}
+}
+
+// merge folds the phase's completions into the result in global pid order,
+// applying the same error precedence and StopWhen observation points as the
+// sequential runner's delivery sweep. It returns true when the run should
+// stop. Completions encountered after the stop decision still contribute
+// their outputs (never errors), matching both the sequential unwind and the
+// concurrent shutdown drain.
+func (p *parRunner) merge(res *Result) bool {
+	stopped := false
+	for i := range p.shards {
+		for _, pid := range p.shards[i].doneBuf {
+			p.alive--
+			d := p.done[pid]
+			if stopped {
+				if d.err == nil {
+					res.Outputs[pid] = d.output
+				}
+				continue
+			}
+			if d.err != nil && !errors.Is(d.err, ErrStopped) {
+				p.runErr = fmt.Errorf("engine: process %d: %w", pid, d.err)
+				stopped = true
+				continue
+			}
+			if d.err == nil {
+				res.Outputs[pid] = d.output
+			}
+			if p.cfg.StopWhen != nil && p.cfg.StopWhen(res.Outputs) {
+				stopped = true
+			}
+		}
+	}
+	return stopped
+}
+
+func (p *parRunner) run(procs []Coroutine) (*Result, error) {
+	res := &Result{Outputs: make(map[int]any)}
+	if err := p.ctx.Err(); err != nil {
+		// Pre-cancelled: never start a process coroutine or a worker.
+		return res, fmt.Errorf("engine: run cancelled: %w", context.Cause(p.ctx))
+	}
+
+	p.procs = procs
+	for i := range p.shards {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	p.alive = p.n
+
+	// Start phase: every worker runs its processes to their first
+	// submission in parallel.
+	p.barrier(parStart)
+	stopped := p.merge(res)
+
+	// Round loop: same boundary order as the sequential runner — external
+	// cancellation, watchdog, route, StopWhen, round budget — then the
+	// parallel deliver phase.
+	for !stopped && p.runErr == nil && p.alive > 0 {
+		if err := p.ctx.Err(); err != nil {
+			p.runErr = fmt.Errorf("engine: run cancelled: %w", context.Cause(p.ctx))
+			break
+		}
+		if err := p.wd.check(p.rt.round); err != nil {
+			p.runErr = err
+			break
+		}
+		out, err := p.rt.route(p.state, p.pending, res)
+		if err != nil {
+			p.runErr = err
+			break
+		}
+		if p.cfg.StopWhen != nil && p.cfg.StopWhen(res.Outputs) {
+			break
+		}
+		if p.rt.round >= p.cfg.MaxRounds {
+			p.runErr = ErrMaxRounds
+			break
+		}
+		p.out = out
+		p.barrier(parDeliver)
+		stopped = p.merge(res)
+	}
+
+	// Release the shard workers before unwinding: once they have exited,
+	// every coroutine handle is quiescent and owned by this goroutine (the
+	// final barrier replies carry the ordering), so the parked processes can
+	// be stopped exactly like the sequential unwind.
+	for i := range p.shards {
+		close(p.shards[i].cmd)
+	}
+	p.wg.Wait()
+	p.unwind(res)
+	res.Rounds = p.rt.round
+	return res, p.runErr
+}
+
+// unwind releases every parked process with a stop switch, collecting the
+// outputs of any that complete rather than propagate ErrStopped — the same
+// contract as the sequential runner's unwind.
+func (p *parRunner) unwind(res *Result) {
+	p.stopping = true
+	for pid := range p.state {
+		if p.state[pid] != stateWaiting {
+			continue
+		}
+		p.state[pid] = stateDone
+		p.alive--
+		p.stop[pid]()
+		if d := p.done[pid]; d.finished && d.err == nil {
+			res.Outputs[pid] = d.output
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"anondyn/internal/dynnet"
+)
+
+// withShards raises GOMAXPROCS for the duration of a test so the parallel
+// scheduler actually splits the ring into several shards. The CI and
+// container hosts often run single-core, where min(GOMAXPROCS, n) = 1 and
+// every multi-shard code path — cross-shard barrier ordering, per-shard
+// doneBuf merging, worker release — would otherwise go untested.
+func withShards(t *testing.T, workers int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(workers)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestParallelShardSplit pins that the runner genuinely shards: with
+// GOMAXPROCS=4 and 9 processes it must create 4 contiguous shards covering
+// the ring exactly once.
+func TestParallelShardSplit(t *testing.T) {
+	withShards(t, 4)
+	p := newParRunner(context.Background(), Config{}, 9)
+	if len(p.shards) != 4 {
+		t.Fatalf("got %d shards for 9 procs at GOMAXPROCS=4, want 4", len(p.shards))
+	}
+	lo := 0
+	for i, sh := range p.shards {
+		if sh.lo != lo {
+			t.Fatalf("shard %d starts at %d, want %d (contiguous cover)", i, sh.lo, lo)
+		}
+		if sh.hi <= sh.lo {
+			t.Fatalf("shard %d is empty: [%d,%d)", i, sh.lo, sh.hi)
+		}
+		lo = sh.hi
+	}
+	if lo != 9 {
+		t.Fatalf("shards cover [0,%d), want [0,9)", lo)
+	}
+	// More workers than processes must clamp to one process per shard.
+	p = newParRunner(context.Background(), Config{}, 2)
+	if len(p.shards) != 2 {
+		t.Fatalf("got %d shards for 2 procs, want 2", len(p.shards))
+	}
+}
+
+// TestParallelMultiShardEquivalence re-runs the scheduler equivalence
+// contract with the ring genuinely split across 4 workers. The package's
+// main equivalence sweep covers SchedulerParallel too, but under a
+// single-core host it degenerates to one shard; this test forces the
+// cross-shard merge and barrier ordering.
+func TestParallelMultiShardEquivalence(t *testing.T) {
+	withShards(t, 4)
+	for _, n := range []int{4, 9, 16} {
+		cfg := func() Config {
+			return Config{Schedule: dynnet.NewRandomConnected(n, 0.4, int64(n)), MaxRounds: 100}
+		}
+		seqRes, seqTrace, err := runUnder(t, SchedulerSequential, cfg(), n, 5)
+		if err != nil {
+			t.Fatalf("n=%d sequential: %v", n, err)
+		}
+		parRes, parTrace, err := runUnder(t, SchedulerParallel, cfg(), n, 5)
+		if err != nil {
+			t.Fatalf("n=%d parallel: %v", n, err)
+		}
+		assertSameRun(t, seqRes, parRes, seqTrace, parTrace)
+	}
+}
+
+// quietProc sends a constant small int (boxed allocation-free by the
+// runtime's small-int cache) and discards everything it receives, so any
+// allocation measured during its rounds belongs to the scheduler, not the
+// protocol.
+func quietProc(rounds int) Coroutine {
+	return CoroutineFunc(func(tr *Transport) (any, error) {
+		for i := 0; i < rounds; i++ {
+			if _, err := tr.SendAndReceive(7); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+}
+
+// TestSchedulerSteadyStateAllocs gates per-round allocations: once the
+// router's double-buffered delivery backings have grown to the round's
+// working set (and each shard's doneBuf is warm), additional rounds must be
+// allocation-free. The gate is the *difference* between a long and a short
+// run, so per-run setup (runner, coroutines, shards) cancels out.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	withShards(t, 4)
+	const extra = 100
+	for _, sched := range schedulers {
+		measure := func(rounds int) float64 {
+			return testing.AllocsPerRun(5, func() {
+				procs := make([]Coroutine, 8)
+				for pid := range procs {
+					procs[pid] = quietProc(rounds)
+				}
+				cfg := Config{Schedule: dynnet.NewStatic(dynnet.Complete(8)),
+					MaxRounds: rounds + 1, Scheduler: sched}
+				if _, err := Run(cfg, procs); err != nil {
+					t.Errorf("%v: %v", sched, err)
+				}
+			})
+		}
+		short := measure(10)
+		long := measure(10 + extra)
+		perRound := (long - short) / extra
+		if perRound > 0.5 {
+			t.Errorf("scheduler %v: %.2f allocs per steady-state round (short=%.0f long=%.0f), want ~0",
+				sched, perRound, short, long)
+		}
+	}
+}
+
+// TestParallelShardWorkerRelease is the shard-worker goroutine-leak
+// regression: after any run outcome — completion, process error, external
+// cancellation — every shard worker must have exited. A leaked worker
+// would hold its coroutine handles (and their stacks) forever.
+func TestParallelShardWorkerRelease(t *testing.T) {
+	withShards(t, 4)
+	baseline := runtime.NumGoroutine()
+
+	forever := func() Coroutine {
+		return CoroutineFunc(func(tr *Transport) (any, error) {
+			for {
+				if _, err := tr.SendAndReceive(nil); err != nil {
+					return nil, err
+				}
+			}
+		})
+	}
+	boom := CoroutineFunc(func(tr *Transport) (any, error) {
+		for i := 0; i < 3; i++ {
+			if _, err := tr.SendAndReceive(nil); err != nil {
+				return nil, err
+			}
+		}
+		return nil, errors.New("boom")
+	})
+
+	const n = 8
+	mk := func(withErr bool) []Coroutine {
+		procs := make([]Coroutine, n)
+		for pid := range procs {
+			if withErr && pid == 5 {
+				procs[pid] = boom
+			} else if withErr {
+				procs[pid] = forever()
+			} else {
+				procs[pid] = echoProc(4)
+			}
+		}
+		return procs
+	}
+	cfg := Config{Schedule: dynnet.NewStatic(dynnet.Complete(n)), MaxRounds: 1 << 20, Scheduler: SchedulerParallel}
+
+	for i := 0; i < 10; i++ {
+		// Normal completion.
+		if _, err := Run(cfg, mk(false)); err != nil {
+			t.Fatalf("normal run: %v", err)
+		}
+		// A process error mid-run stops the whole shard set.
+		if _, err := Run(cfg, mk(true)); err == nil {
+			t.Fatal("error run returned nil error")
+		}
+		// External cancellation while every worker is parked.
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			procs := make([]Coroutine, n)
+			for pid := range procs {
+				procs[pid] = forever()
+			}
+			_, err := RunContext(ctx, cfg, procs)
+			done <- err
+		}()
+		time.Sleep(time.Millisecond)
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run: %v", err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("shard workers leaked: baseline %d goroutines, now %d", baseline, runtime.NumGoroutine())
+}

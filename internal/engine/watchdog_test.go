@@ -27,8 +27,8 @@ func (spinStepper) Compose() Message  { return 0 }
 func (spinStepper) Deliver([]Message) {}
 func (spinStepper) Done() (any, bool) { return nil, false }
 
-func TestWatchdogFiresOnBothCoroutineSchedulers(t *testing.T) {
-	for _, sched := range []Scheduler{SchedulerSequential, SchedulerConcurrent} {
+func TestWatchdogFiresOnAllCoroutineSchedulers(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerSequential, SchedulerConcurrent, SchedulerParallel} {
 		cfg := Config{
 			Schedule:  dynnet.NewStatic(dynnet.Complete(3)),
 			MaxRounds: 1 << 30,

@@ -45,7 +45,24 @@ type Solver struct {
 	melim  *modElim // ArithModular battery; survives resets (luck is system-independent)
 	broken bool     // structural fallback: delegate to from-scratch until reset
 
+	// The modular backend's replay skeleton: everything a fresh battery
+	// prime needs to catch up on the consumed equations without re-reading
+	// the consumed levels from the tree — which makes the solver
+	// compaction-proof (Tree.CompactLevels may release those levels).
+	// lifts[j] maps each level-j basis column to its level-(j-1) parent
+	// column (lifts[0] is unused); feds[l] holds the fed balance rows of
+	// level l in feed order, sparse over the level-(l+1) columns. Both are
+	// nil under ArithBig, which never replays.
+	lifts [][]int32
+	feds  [][][]sparseCoef
+
 	stats SolverStats
+}
+
+// sparseCoef is one nonzero coefficient of a recorded balance row.
+type sparseCoef struct {
+	col int32
+	val int64
 }
 
 // SolverStats counts the work a Solver has done, for regression tests and
@@ -120,11 +137,20 @@ func (s *Solver) CountAt(t *Tree, completeLevels int) (CountResult, error) {
 	}
 	if !ok {
 		s.stats.Fallbacks++
+		if t.CompactedLevels() > 0 {
+			// The from-scratch path needs the whole prefix, which
+			// compaction released. Unknown is always a sound answer here:
+			// the protocol extends the tree and retries.
+			return CountResult{}, nil
+		}
 		return Count(t, completeLevels)
 	}
 	ray, certified := s.resolve()
 	if !certified {
 		s.stats.WitnessFallbacks++
+		if t.CompactedLevels() > 0 {
+			return CountResult{}, nil
+		}
 		return Count(t, completeLevels)
 	}
 	if ray == nil {
@@ -146,11 +172,17 @@ func (s *Solver) FrequenciesAt(t *Tree, completeLevels int) (FrequencyResult, er
 	}
 	if !ok {
 		s.stats.Fallbacks++
+		if t.CompactedLevels() > 0 {
+			return FrequencyResult{}, nil
+		}
 		return Frequencies(t, completeLevels)
 	}
 	ray, certified := s.resolve()
 	if !certified {
 		s.stats.WitnessFallbacks++
+		if t.CompactedLevels() > 0 {
+			return FrequencyResult{}, nil
+		}
 		return Frequencies(t, completeLevels)
 	}
 	if ray == nil {
@@ -196,10 +228,15 @@ func (s *Solver) ensure(t *Tree, completeLevels int) (bool, error) {
 		}
 		if s.arith == ArithBig {
 			s.elim = newIntElim(len(base))
-		} else if s.melim == nil {
-			s.melim = newModElim(len(base), 2)
 		} else {
-			s.melim.reset(len(base))
+			if s.melim == nil {
+				s.melim = newModElim(len(base), 2)
+			} else {
+				s.melim.reset(len(base))
+			}
+			// lifts is level-indexed; level 0 has no lift into it.
+			s.lifts = append(s.lifts[:0], nil)
+			s.feds = s.feds[:0]
 		}
 	}
 	for s.level < completeLevels {
@@ -217,8 +254,14 @@ func (s *Solver) reset(t *Tree) {
 	s.level = -1
 	s.basis, s.idx, s.anc0, s.covered = nil, nil, nil, nil
 	s.elim = nil
+	s.lifts, s.feds = nil, nil
 	s.broken = false
 }
+
+// ConsumedLevel returns the deepest level whose balance equations the
+// solver has consumed (-1 before first use). Levels at or below it are
+// never re-read from the tree — the gate Tree.CompactLevels callers need.
+func (s *Solver) ConsumedLevel() int { return s.level }
 
 // extend consumes one more level: it lifts the elimination state onto the
 // next level's variables and feeds that level's balance equations. It
@@ -254,6 +297,7 @@ func (s *Solver) extend(t *Tree) bool {
 		s.elim.lift(parentIdx, len(next))
 	} else {
 		s.melim.lift(parentIdx, len(next))
+		s.lifts = append(s.lifts, parentIdx)
 	}
 
 	idx := make(map[*Node]int, len(next))
@@ -307,35 +351,44 @@ func (s *Solver) feedBig(pairs []nodePair, idx map[*Node]int, k int) {
 
 // feedModular feeds one level's balance equations into the prime battery.
 // The int64 row scratch lives in the battery and is recycled, so the
-// steady-state feed allocates nothing.
+// steady-state feed's only allocations are the sparse row copies retained
+// for the replay skeleton (a handful of words per fed equation).
 func (s *Solver) feedModular(pairs []nodePair, idx map[*Node]int, k int) {
 	e := s.melim
 	if cap(e.intRow) < k {
 		e.intRow = make([]int64, k, k+k/2+4)
 	}
 	row := e.intRow[:k]
+	var coefs []sparseCoef
+	fed := make([][]sparseCoef, 0, len(pairs))
 	for _, pair := range pairs {
-		for i := range row {
-			row[i] = 0
-		}
-		used := false
+		coefs = coefs[:0]
+		// A node is the child of exactly one of the pair, so each column
+		// appears at most once.
 		for _, c := range pair.w.Children {
 			if m := c.RedMult(pair.u); m != 0 {
-				row[idx[c]] = int64(m)
-				used = true
+				coefs = append(coefs, sparseCoef{col: int32(idx[c]), val: int64(m)})
 			}
 		}
 		for _, c := range pair.u.Children {
 			if m := c.RedMult(pair.w); m != 0 {
-				row[idx[c]] = -int64(m)
-				used = true
+				coefs = append(coefs, sparseCoef{col: int32(idx[c]), val: -int64(m)})
 			}
 		}
-		if used {
-			e.addRow(row)
-		}
 		s.stats.Equations++
+		if len(coefs) == 0 {
+			continue
+		}
+		for i := range row {
+			row[i] = 0
+		}
+		for _, cv := range coefs {
+			row[cv.col] = cv.val
+		}
+		e.addRow(row)
+		fed = append(fed, append([]sparseCoef(nil), coefs...))
 	}
+	s.feds = append(s.feds, fed)
 }
 
 // resolve extracts the positively-oriented null ray, or nil when the system
@@ -411,11 +464,13 @@ func (s *Solver) resolveModular(k int) ([]*big.Rat, bool) {
 }
 
 // replayInto feeds a fresh battery prime the full consumed balance system,
-// re-enumerated from the tree and expanded onto the current basis exactly
-// as the from-scratch solver would expand it. The expansion of each old
-// equation is the lift of the row the incremental feed saw, so the fresh
-// prime reduces the same row space as its elders — just without their
-// elimination history.
+// reconstructed from the recorded replay skeleton (lifts + sparse fed
+// rows) and expanded onto the current basis exactly as the from-scratch
+// solver would expand it. The expansion of each old equation is the lift
+// of the row the incremental feed saw, so the fresh prime reduces the same
+// row space as its elders — just without their elimination history.
+// Reading only the skeleton (never the tree) is what lets
+// Tree.CompactLevels release the consumed levels underneath a live solver.
 func (s *Solver) replayInto(ps *primeState) {
 	e := s.melim
 	k := len(s.basis)
@@ -423,51 +478,47 @@ func (s *Solver) replayInto(ps *primeState) {
 		e.intRow = make([]int64, k, k+k/2+4)
 	}
 	row := e.intRow[:k]
-	under := make(map[*Node][]int32, k)
-	fed := 0
-	// Build ancestor chains bottom-up once, then replay levels in feed
-	// order (0..level−1) so row order matches the original feed.
-	chains := make([][]*Node, s.level+1)
-	chains[s.level] = s.basis
-	for l := s.level - 1; l >= 0; l-- {
-		a := make([]*Node, k)
-		up := chains[l+1]
-		for i := range a {
-			a[i] = up[i].Parent
-		}
-		chains[l] = a
+	// anc[j][i] is the level-j ancestor column of current column i, built
+	// by composing the recorded lifts top-down.
+	anc := make([][]int32, s.level+1)
+	cur := make([]int32, k)
+	for i := range cur {
+		cur[i] = int32(i)
 	}
-	for l := 0; l < s.level && fed < e.rowsFed; l++ {
-		clear(under)
-		for i, v := range chains[l+1] {
-			under[v] = append(under[v], int32(i))
+	anc[s.level] = cur
+	for j := s.level; j >= 2; j-- {
+		lift := s.lifts[j]
+		up := anc[j]
+		a := make([]int32, k)
+		for i := range a {
+			a[i] = lift[up[i]]
 		}
-		for _, pair := range balancePairs(s.t, l) {
+		anc[j-1] = a
+	}
+	// Replay levels in feed order (0..level−1) so row order matches the
+	// original feed. Each sparse row is expanded through a dense
+	// level-(l+1) scratch: row[i] = dense[anc_{l+1}(i)].
+	var dense []int64
+	fed := 0
+	for l := 0; l < s.level && fed < e.rowsFed; l++ {
+		a := anc[l+1]
+		width := len(s.lifts[l+1])
+		if cap(dense) < width {
+			dense = make([]int64, width)
+		}
+		d := dense[:width]
+		for _, coefs := range s.feds[l] {
 			if fed >= e.rowsFed {
 				break
 			}
-			for i := range row {
-				row[i] = 0
+			for _, cv := range coefs {
+				d[cv.col] = cv.val
 			}
-			used := false
-			for _, c := range pair.w.Children {
-				if m := c.RedMult(pair.u); m != 0 {
-					for _, i := range under[c] {
-						row[i] += int64(m)
-					}
-					used = true
-				}
+			for i := 0; i < k; i++ {
+				row[i] = d[a[i]]
 			}
-			for _, c := range pair.u.Children {
-				if m := c.RedMult(pair.w); m != 0 {
-					for _, i := range under[c] {
-						row[i] -= int64(m)
-					}
-					used = true
-				}
-			}
-			if !used {
-				continue
+			for _, cv := range coefs {
+				d[cv.col] = 0
 			}
 			e.feedRow(ps, row)
 			fed++

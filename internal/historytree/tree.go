@@ -139,6 +139,15 @@ type Tree struct {
 	mut        uint64
 	pairsMut   uint64
 	pairsLevel [][]nodePair
+
+	// compacted is the deepest level released by CompactLevels (0 = none):
+	// levels 1..compacted hold no nodes and their arena space has been
+	// reclaimed. peakNodes is the high-water mark of numNodes over the
+	// tree's lifetime and freedNodes the total released by compaction;
+	// together they quantify the O(active view) memory claim.
+	compacted  int
+	peakNodes  int
+	freedNodes int
 }
 
 // New returns a tree containing only the root node, with ID RootID.
@@ -151,6 +160,7 @@ func New() *Tree {
 	t.levels = [][]*Node{{root}}
 	t.setByID(RootID, root)
 	t.numNodes = 1
+	t.peakNodes = 1
 	return t
 }
 
@@ -274,6 +284,9 @@ func (t *Tree) AddChild(id int, parent *Node, input Input) (*Node, error) {
 	t.levels[idx] = append(t.levels[idx], node)
 	t.setByID(id, node)
 	t.numNodes++
+	if t.numNodes > t.peakNodes {
+		t.peakNodes = t.numNodes
+	}
 	return node, nil
 }
 
@@ -308,7 +321,16 @@ func (t *Tree) Generation() uint64 { return t.gen }
 // and any edges incident to them. It implements the reset of Listing 6.
 // Arena space held by the removed nodes is not reclaimed until the tree
 // itself is released (Clone produces a compact copy).
+//
+// Truncating into or below the compacted region is a contract violation —
+// those levels were released on the caller's promise that they can never
+// be rewritten — and panics; core guards its reset paths with a structured
+// error before reaching here.
 func (t *Tree) TruncateLevels(from int) {
+	if t.compacted > 0 && from <= t.compacted {
+		panic(fmt.Sprintf("historytree: TruncateLevels(%d) into compacted region (levels 1..%d released)",
+			from, t.compacted))
+	}
 	idx := from + 1
 	if idx < 1 {
 		idx = 1

@@ -47,6 +47,13 @@ type Metrics struct {
 	SolverCRTRecons    atomic.Int64
 	SolverEvictions    atomic.Int64
 	SolverWitnessFalls atomic.Int64
+	// VHTCompactedLevels and VHTCompactedNodes total the history-level
+	// compaction work across completed jobs (CompactVHT specs only);
+	// VHTPeakResidentNodes is the largest resident history tree any single
+	// completed job ever held — the memory high-water mark of the fleet.
+	VHTCompactedLevels   atomic.Int64
+	VHTCompactedNodes    atomic.Int64
+	VHTPeakResidentNodes atomic.Int64
 	// WorkersBusy is the number of worker goroutines currently running a
 	// simulation.
 	WorkersBusy atomic.Int64
@@ -71,6 +78,10 @@ type MetricsSnapshot struct {
 	SolverCRTRecons    int64 `json:"solverCRTRecons"`
 	SolverEvictions    int64 `json:"solverEvictions"`
 	SolverWitnessFalls int64 `json:"solverWitnessFalls"`
+	// History-level compaction counters (see Metrics).
+	VHTCompactedLevels   int64 `json:"vhtCompactedLevels"`
+	VHTCompactedNodes    int64 `json:"vhtCompactedNodes"`
+	VHTPeakResidentNodes int64 `json:"vhtPeakResidentNodes"`
 	// CacheEntries and CacheEvictions describe the in-memory LRU tier
 	// (filled by Manager.MetricsSnapshot).
 	CacheEntries   int   `json:"cacheEntries"`
@@ -98,5 +109,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SolverCRTRecons:    m.SolverCRTRecons.Load(),
 		SolverEvictions:    m.SolverEvictions.Load(),
 		SolverWitnessFalls: m.SolverWitnessFalls.Load(),
+
+		VHTCompactedLevels:   m.VHTCompactedLevels.Load(),
+		VHTCompactedNodes:    m.VHTCompactedNodes.Load(),
+		VHTPeakResidentNodes: m.VHTPeakResidentNodes.Load(),
+	}
+}
+
+// observePeak raises VHTPeakResidentNodes to v if it exceeds the current
+// maximum (a lock-free running max).
+func (m *Metrics) observePeak(v int64) {
+	for {
+		cur := m.VHTPeakResidentNodes.Load()
+		if v <= cur || m.VHTPeakResidentNodes.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }

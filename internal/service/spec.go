@@ -72,11 +72,21 @@ type JobSpec struct {
 	// MaxRounds caps the run; 0 derives the default O(T·n³ log n) budget.
 	MaxRounds int `json:"maxRounds,omitempty"`
 	// Scheduler selects the engine execution strategy: "" or "sequential"
-	// for the direct-execution default, "concurrent" for the parallel
-	// coordinator. Both produce identical results (the spec hash treats
+	// for the direct-execution default, "parallel" for the sharded
+	// round-parallel scheduler (same results, less wall clock on
+	// multi-core hosts), "concurrent" for the goroutine-per-process
+	// coordinator. All produce identical results (the spec hash treats
 	// them as the same simulation), so this is a performance/debugging
 	// knob, not a semantic one.
 	Scheduler string `json:"scheduler,omitempty"`
+	// CompactVHT enables history-level compaction: consumed VHT levels are
+	// released once the counting solver can never re-read them, keeping
+	// resident memory proportional to the active view instead of the whole
+	// run. Answers are unchanged (pinned by the core equivalence suite),
+	// so the spec hash ignores it; only the residency stats differ. Under
+	// fault plans a reset can outrun the compaction lag and abort the run
+	// with a structured error — prefer leaving it off with faults.
+	CompactVHT bool `json:"compact,omitempty"`
 	// Arithmetic selects the counting solver's exact-arithmetic backend:
 	// "" or "modular" for the multi-modular residue/CRT default, "big"
 	// for the fraction-free big.Int eliminator kept as the exactness
@@ -159,8 +169,8 @@ func (s JobSpec) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("maxRounds must be non-negative, got %d", s.MaxRounds)
 	}
-	if s.Scheduler != "" && s.Scheduler != "concurrent" {
-		return fmt.Errorf("unknown scheduler %q (have sequential, concurrent)", s.Scheduler)
+	if s.Scheduler != "" && s.Scheduler != "parallel" && s.Scheduler != "concurrent" {
+		return fmt.Errorf("unknown scheduler %q (have sequential, parallel, concurrent)", s.Scheduler)
 	}
 	if s.Arithmetic != "" && s.Arithmetic != "big" {
 		return fmt.Errorf("unknown arithmetic %q (have modular, big)", s.Arithmetic)
@@ -209,12 +219,13 @@ func (s JobSpec) Validate() error {
 // result-cache key.
 func (s JobSpec) Hash() string {
 	s.Normalize()
-	// Both schedulers produce identical results (the engine's equivalence
+	// All schedulers produce identical results (the engine's equivalence
 	// contract), so the choice must not fragment the result cache; the
 	// same holds for the arithmetic backends (the solver's equivalence
-	// contract).
+	// contract) and for compaction (the core equivalence suite).
 	s.Scheduler = ""
 	s.Arithmetic = ""
+	s.CompactVHT = false
 	// The deadline only decides when a non-terminating run is abandoned;
 	// completed results are independent of it, and failed runs are never
 	// cached, so it must not fragment the cache either. Faults and
@@ -287,6 +298,7 @@ func (s JobSpec) config() core.Config {
 		BatchSize:        s.Batch,
 		KeepAllLinks:     s.KeepAll,
 		EagerTermination: s.Eager,
+		CompactVHT:       s.CompactVHT,
 	}
 	if s.Arithmetic == "big" {
 		cfg.Arithmetic = historytree.ArithBig
@@ -316,7 +328,10 @@ func (s JobSpec) Run(ctx context.Context, traceHook func(round int, sent []engin
 		Deadline:  time.Duration(s.DeadlineMS) * time.Millisecond,
 		Trace:     traceHook,
 	}
-	if s.Scheduler == "concurrent" {
+	switch s.Scheduler {
+	case "parallel":
+		opts.Scheduler = engine.SchedulerParallel
+	case "concurrent":
 		opts.Scheduler = engine.SchedulerConcurrent
 	}
 	var plan *faults.Plan

@@ -67,6 +67,52 @@ func TestSpecHashCanonical(t *testing.T) {
 	if f1.Hash() != f2.Hash() {
 		t.Error("faultSeed without a plan must not affect the hash")
 	}
+	// Scheduler and CompactVHT are performance knobs: identical results, so
+	// they must not fragment the result cache.
+	s1 := JobSpec{N: 5, Seed: 1}
+	for name, same := range map[string]JobSpec{
+		"parallel-scheduler":   {N: 5, Seed: 1, Scheduler: "parallel"},
+		"concurrent-scheduler": {N: 5, Seed: 1, Scheduler: "concurrent"},
+		"compact":              {N: 5, Seed: 1, CompactVHT: true},
+	} {
+		if s1.Hash() != same.Hash() {
+			t.Errorf("%s: performance knob changed the hash", name)
+		}
+	}
+}
+
+func TestSpecSchedulerValues(t *testing.T) {
+	for _, ok := range []string{"", "sequential", "parallel", "concurrent"} {
+		if err := (JobSpec{N: 4, Scheduler: ok}).Validate(); err != nil {
+			t.Errorf("scheduler %q rejected: %v", ok, err)
+		}
+	}
+	err := (JobSpec{N: 4, Scheduler: "threads"}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "parallel") {
+		t.Fatalf("bad scheduler error %v should list the valid values", err)
+	}
+}
+
+// TestSpecCompactRun: a CompactVHT job over the service entry point returns
+// the same answer as the plain spec and reports compaction in its stats.
+func TestSpecCompactRun(t *testing.T) {
+	plain := JobSpec{N: 12, Topology: "path"}
+	compact := JobSpec{N: 12, Topology: "path", CompactVHT: true}
+	base, err := plain.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	res, err := compact.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("compact run: %v", err)
+	}
+	if res.N != base.N || res.Stats.Rounds != base.Stats.Rounds {
+		t.Fatalf("compaction changed the run: n %d→%d rounds %d→%d",
+			base.N, res.N, base.Stats.Rounds, res.Stats.Rounds)
+	}
+	if res.Stats.CompactedLevels == 0 {
+		t.Fatalf("no compaction on a deep path run: %+v", res.Stats)
+	}
 }
 
 func TestSpecValidate(t *testing.T) {

@@ -26,6 +26,11 @@ type Timing struct {
 	SolverCRTRecons    int
 	SolverEvictions    int
 	SolverWitnessFalls int
+	// History-tree residency: the deepest level released by CompactVHT
+	// compaction (0 when off or never engaged) and the peak resident node
+	// count of the deciding process's tree.
+	CompactedLevels   int
+	PeakResidentNodes int
 }
 
 // TimingOf extracts the timing view of a run's statistics.
@@ -38,6 +43,8 @@ func TimingOf(st core.RunStats) *Timing {
 		SolverCRTRecons:    st.SolverCRTRecons,
 		SolverEvictions:    st.SolverEvictions,
 		SolverWitnessFalls: st.SolverWitnessFalls,
+		CompactedLevels:    st.CompactedLevels,
+		PeakResidentNodes:  st.PeakResidentNodes,
 	}
 }
 
@@ -54,6 +61,12 @@ func (t *Timing) Add(o *Timing) {
 	t.SolverCRTRecons += o.SolverCRTRecons
 	t.SolverEvictions += o.SolverEvictions
 	t.SolverWitnessFalls += o.SolverWitnessFalls
+	if o.CompactedLevels > t.CompactedLevels {
+		t.CompactedLevels = o.CompactedLevels
+	}
+	if o.PeakResidentNodes > t.PeakResidentNodes {
+		t.PeakResidentNodes = o.PeakResidentNodes
+	}
 }
 
 // WallMS returns the wall clock in milliseconds.
@@ -78,6 +91,10 @@ func (t *Timing) String() string {
 		if t.SolverWitnessFalls > 0 {
 			s += fmt.Sprintf(", %d witness falls", t.SolverWitnessFalls)
 		}
+	}
+	if t.CompactedLevels > 0 {
+		s += fmt.Sprintf(", %d levels compacted (peak %d nodes)",
+			t.CompactedLevels, t.PeakResidentNodes)
 	}
 	return s
 }
