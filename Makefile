@@ -33,22 +33,26 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzRandomConnectedSchedule$$' -fuzztime=$(FUZZTIME) ./internal/dynnet
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultPlan$$' -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz='^FuzzSolverArithmetic$$' -fuzztime=$(FUZZTIME) ./internal/historytree
+	$(GO) test -run='^$$' -fuzz='^FuzzBatchedRefine$$' -fuzztime=$(FUZZTIME) ./internal/historytree
 
-# Run the benchmark-regression suite and record BENCH_PR7.json (see
+# Run the benchmark-regression suite and record BENCH_PR9.json (see
 # EXPERIMENTS.md, "Perf appendix").
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR7.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR9.json
 
-# Compare two BENCH_*.json reports; fails on >20% ns/op regression.
-# Usage: make benchcmp BASE=BENCH_PR4.json [NEW=BENCH_PR7.json]
-BASE ?= BENCH_PR4.json
-NEW ?= BENCH_PR7.json
+# Compare two BENCH_*.json reports; fails on >20% ns/op regression
+# (override per entry with -tol NAME=FRAC through EXTRA).
+# Usage: make benchcmp BASE=BENCH_PR8.json [NEW=BENCH_PR9.json]
+BASE ?= BENCH_PR8.json
+NEW ?= BENCH_PR9.json
 benchcmp:
 	$(GO) run ./cmd/benchreport -compare -old $(BASE) -new $(NEW)
 
 # Capture CPU + allocation pprof profiles of one suite entry (default:
-# the E2 counting run, the repo's end-to-end hot path). See README
-# "Profiling" for how to read the artifacts.
+# the E2 counting run, the repo's end-to-end hot path — its profile now
+# lands in the batched refinement pass and the masked schedule
+# generator; see DESIGN.md decision 15). See README "Profiling" for how
+# to read the artifacts.
 # Usage: make profile [BENCH=E2Count] [PROFDIR=profiles]
 BENCH ?= E2Count
 PROFDIR ?= profiles

@@ -6,9 +6,11 @@
 //	benchreport -out BENCH_PR2.json
 //
 // Fail if the new report regressed by more than 20% ns/op on any shared
-// benchmark (the `make benchcmp` target):
+// benchmark (the `make benchcmp` target); noisy entries can carry their own
+// tolerance, and -procs pins GOMAXPROCS for the run (each entry records the
+// GOMAXPROCS/NumCPU it measured under):
 //
-//	benchreport -compare -old BENCH_PR1.json -new BENCH_PR2.json
+//	benchreport -compare -old BENCH_PR1.json -new BENCH_PR2.json -tol E2Count/n=192=0.8
 //
 // Capture CPU and allocation profiles of one suite entry (the
 // `make profile` target); inspect with `go tool pprof`:
@@ -20,11 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"anondyn/internal/bench"
 )
 
 func main() {
+	tolOverrides := make(map[string]float64)
 	var (
 		out        = flag.String("out", "", "write the suite's measurements to this file (JSON)")
 		compare    = flag.Bool("compare", false, "compare two reports instead of running the suite")
@@ -35,15 +41,34 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a runtime/pprof allocation profile of the run to this file")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; 1 = sequential, for noise-sensitive runs)")
+		procs      = flag.Int("procs", 0, "set GOMAXPROCS for the suite run (0 = leave the runtime default); recorded in each entry")
 	)
+	flag.Func("tol", "per-benchmark tolerance override NAME=FRAC for -compare (repeatable), e.g. -tol E2Count/n=192=0.8",
+		func(s string) error {
+			// The benchmark name itself contains '=' (E2Count/n=192), so the
+			// fraction is everything after the LAST '='.
+			i := strings.LastIndex(s, "=")
+			if i <= 0 || i == len(s)-1 {
+				return fmt.Errorf("want NAME=FRAC, got %q", s)
+			}
+			frac, err := strconv.ParseFloat(s[i+1:], 64)
+			if err != nil || frac < 0 {
+				return fmt.Errorf("bad tolerance fraction in %q", s)
+			}
+			tolOverrides[s[:i]] = frac
+			return nil
+		})
 	flag.Parse()
 
 	if *compare {
-		if err := runCompare(*oldPath, *newPath, *tolerance); err != nil {
+		if err := runCompare(*oldPath, *newPath, *tolerance, tolOverrides); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
 	}
 	opts := bench.SuiteOptions{
 		Filter:     *benchMatch,
@@ -84,7 +109,7 @@ func runSuite(opts bench.SuiteOptions, out string) error {
 	return nil
 }
 
-func runCompare(oldPath, newPath string, tolerance float64) error {
+func runCompare(oldPath, newPath string, tolerance float64, overrides map[string]float64) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("-compare needs both -old and -new")
 	}
@@ -96,7 +121,12 @@ func runCompare(oldPath, newPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	deltas := bench.ComparePerf(old, cur, tolerance)
+	for name := range overrides {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchreport: note: -tol override %q matches no benchmark in %s\n", name, newPath)
+		}
+	}
+	deltas := bench.ComparePerfTol(old, cur, tolerance, overrides)
 	if len(deltas) == 0 {
 		return fmt.Errorf("reports %s and %s share no benchmarks", oldPath, newPath)
 	}
@@ -107,13 +137,16 @@ func runCompare(oldPath, newPath string, tolerance float64) error {
 			status = "REGRESSED"
 			regressed++
 		}
+		if t, ok := overrides[d.Name]; ok {
+			status += fmt.Sprintf(" (tol +%.0f%%)", t*100)
+		}
 		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  (%5.2fx)  %s\n",
 			d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.Ratio, status)
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d of %d shared benchmarks regressed beyond +%.0f%%",
-			regressed, len(deltas), tolerance*100)
+		return fmt.Errorf("%d of %d shared benchmarks regressed beyond tolerance",
+			regressed, len(deltas))
 	}
-	fmt.Printf("all %d shared benchmarks within +%.0f%%\n", len(deltas), tolerance*100)
+	fmt.Printf("all %d shared benchmarks within tolerance (default +%.0f%%)\n", len(deltas), tolerance*100)
 	return nil
 }

@@ -61,6 +61,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		traceFlag  = fs.Bool("trace", false, "print a per-round protocol trace and summary")
 		scheduler  = fs.String("scheduler", "sequential", "engine scheduler: sequential (direct execution), parallel (sharded workers), or concurrent")
 		compact    = fs.Bool("compact", false, "release consumed VHT levels (O(active view) memory; incompatible with faulty resets that rewind far)")
+		private    = fs.Bool("privatevht", false, "disable cross-process structural sharing (each process keeps its own VHT; ablation knob)")
 		arith      = fs.String("arith", "modular", "counting-solver arithmetic: modular (residue/CRT) or big (big.Int witness)")
 		faultsFlag = fs.String("faults", "", "fault plan layered over the adversary, e.g. spike:8:0 or cut:3:20,storm:1:0:2 (see internal/faults)")
 		faultSeed  = fs.Int64("faultseed", 0, "fault-plan RNG seed (only the drop fault consumes it)")
@@ -71,7 +72,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
 		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler,
-		*compact, *arith, *faultsFlag, *faultSeed, *deadline)
+		*compact, *private, *arith, *faultsFlag, *faultSeed, *deadline)
 	if err != nil {
 		fmt.Fprintln(stderr, "cadn: invalid usage:", err)
 		return 2
@@ -88,7 +89,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
 	fine bool, batch int, keepAll, eager bool, scheduler string,
-	compact bool, arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
+	compact, private bool, arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
 		Topology:   topology,
@@ -104,6 +105,7 @@ func buildSpec(n int, topology string, density float64, seed int64, blockT int,
 		Eager:      eager,
 		Scheduler:  scheduler,
 		CompactVHT: compact,
+		PrivateVHT: private,
 		Arithmetic: arith,
 		Faults:     faultsSpec,
 		FaultSeed:  faultSeed,
@@ -170,6 +172,10 @@ func run(spec service.JobSpec, showTree, traceOn bool, w io.Writer) error {
 		fmt.Fprintf(w, "compaction: levels=%d nodesFreed=%d resident=%d peakResident=%d\n",
 			res.Stats.CompactedLevels, res.Stats.CompactedNodes,
 			res.Stats.ResidentNodes, res.Stats.PeakResidentNodes)
+	}
+	if res.Stats.SharedApplies > 0 {
+		fmt.Fprintf(w, "sharing: applies=%d hits=%d forks=%d\n",
+			res.Stats.SharedApplies, res.Stats.SharedHits, res.Stats.SharedForks)
 	}
 	if showTree && res.VHT != nil {
 		fmt.Fprintln(w, "virtual history tree:")

@@ -183,7 +183,7 @@ func TestValidateFlagCombinations(t *testing.T) {
 			tt.mut(&a)
 			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
 				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler,
-				false, a.arith, a.faults, a.faultSeed, a.deadlineMS)
+				false, false, a.arith, a.faults, a.faultSeed, a.deadlineMS)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

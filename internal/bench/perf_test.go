@@ -73,6 +73,67 @@ func TestComparePerf(t *testing.T) {
 	}
 }
 
+// TestComparePerfTolOverrides pins the per-entry tolerance escape hatch:
+// an override loosens (or tightens) exactly the named benchmark and leaves
+// the default in force everywhere else.
+func TestComparePerfTolOverrides(t *testing.T) {
+	old := PerfReport{
+		"noisy/n=192": {NsPerOp: 1000},
+		"steady":      {NsPerOp: 1000},
+	}
+	cur := PerfReport{
+		"noisy/n=192": {NsPerOp: 1700}, // +70%: over default, under override
+		"steady":      {NsPerOp: 1700},
+	}
+	deltas := ComparePerfTol(old, cur, 0.20, map[string]float64{"noisy/n=192": 0.8})
+	got := make(map[string]bool, len(deltas))
+	for _, d := range deltas {
+		got[d.Name] = d.Regressed
+	}
+	want := map[string]bool{"noisy/n=192": false, "steady": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("override verdicts: got %v, want %v", got, want)
+	}
+	// A tightening override works too.
+	deltas = ComparePerfTol(old, cur, 0.80, map[string]float64{"steady": 0.1})
+	for _, d := range deltas {
+		if d.Name == "steady" && !d.Regressed {
+			t.Error("tightened override did not flag the regression")
+		}
+		if d.Name == "noisy/n=192" && d.Regressed {
+			t.Error("default tolerance ignored for non-overridden entry")
+		}
+	}
+}
+
+// TestPerfEntryRecordsProcs pins the provenance fields: a report row must
+// say what parallelism it measured under, and reports that predate the
+// fields must keep decoding (fields absent → 0).
+func TestPerfEntryRecordsProcs(t *testing.T) {
+	rep, err := runEntries([]NamedBench{{
+		Name:  "tiny",
+		Bench: func(b *testing.B) { _ = b.N },
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rep["tiny"]
+	if e.GoMaxProcs < 1 || e.NumCPU < 1 {
+		t.Fatalf("entry lacks parallelism provenance: %+v", e)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := WritePerfFile(path, PerfReport{"legacy": {NsPerOp: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["legacy"].GoMaxProcs != 0 || got["legacy"].NumCPU != 0 {
+		t.Fatalf("legacy entry grew provenance out of thin air: %+v", got["legacy"])
+	}
+}
+
 func TestSweepAssemblesInIndexOrder(t *testing.T) {
 	const points = 40
 	out := make([]int, points)

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"anondyn/internal/baseline"
@@ -63,6 +64,14 @@ func PerfSuite() []NamedBench {
 		{Name: "EngineSchedulerSequential/n=32", Bench: engineBench(32, engine.SchedulerSequential)},
 		{Name: "EngineSchedulerConcurrent/n=32", Bench: engineBench(32, engine.SchedulerConcurrent)},
 		{Name: "EngineSchedulerParallel/n=32", Bench: engineBench(32, engine.SchedulerParallel)},
+		// n=192 is the PR 9 target: batched refinement plus cross-process
+		// structural sharing make one full counting run at this size a
+		// routine suite entry. CompactVHT keeps its resident set bounded,
+		// as any run this large would in practice. It runs last: its
+		// 146 MB/op heap reshapes the GC pacing of whatever follows it in
+		// the same process, which showed up as a phantom ~20% regression
+		// on the fault entries when it sat mid-suite.
+		{Name: "E2Count/n=192", Bench: e2CompactBench(192)},
 	}
 	return suite
 }
@@ -88,6 +97,8 @@ func runEntries(suite []NamedBench, progress func(name string)) (PerfReport, err
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 		}
 	}
 	return report, nil
@@ -134,6 +145,24 @@ func e2Bench(n int, fromScratch bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		s := dynnet.NewRandomConnected(n, 0.3, 1)
 		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6, FromScratchCount: fromScratch}
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.N != n {
+				b.Fatalf("counted %d, want %d", res.N, n)
+			}
+		}
+	}
+}
+
+// e2CompactBench is e2Bench with CompactVHT on: the configuration large-n
+// runs use in practice, and the one the PR 9 suite entries track.
+func e2CompactBench(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := dynnet.NewRandomConnected(n, 0.3, 1)
+		cfg := core.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 6, CompactVHT: true}
 		for i := 0; i < b.N; i++ {
 			res, err := core.Run(s, leaderIn(n), cfg, core.RunOptions{})
 			if err != nil {

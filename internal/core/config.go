@@ -107,6 +107,19 @@ type Config struct {
 	// into compacted history aborts the process with a structured error; on
 	// fault-heavy schedules prefer leaving compaction off in leader mode.
 	CompactVHT bool
+	// PrivateVHT disables cross-process structural sharing (DESIGN.md
+	// decision 15): every process keeps its own VHT, temporary forest, and
+	// level graph and applies every accepted message itself, as the
+	// pre-sharing code did. With the default (false), processes whose
+	// accepted views are structurally identical — all of them, in a
+	// fault-free run — share one copy of those structures through a
+	// verified operation log, divergent processes splitting off
+	// copy-on-write. Results are identical either way; the knob exists as
+	// an ablation for benchmarks and equivalence tests. Sharing is also
+	// silently disabled for single-process runs and under FineGrainedReset
+	// (whose journal replay re-applies messages the shared state already
+	// holds).
+	PrivateVHT bool
 	// Recorder, if non-nil, receives instrumentation events (resets,
 	// accepted messages, per-level ID assignments). Nil disables recording.
 	Recorder *Recorder

@@ -55,7 +55,9 @@ func (p *Process) setUpNewLevel() (restart bool, err error) {
 	snap.obsList = append([]obs(nil), p.obsList...)
 	p.snapshots[p.currentLevel] = snap
 
-	p.resetLevelState(p.currentLevel)
+	if err := p.resetLevelState(p.currentLevel); err != nil {
+		return false, err
+	}
 
 	// React to foreign messages last: a process in an error or reset phase
 	// may have injected one; respond to the highest-priority intruder.
@@ -90,7 +92,7 @@ func (p *Process) setUpNewLevel() (restart bool, err error) {
 // implicitly chain onto the fresh temporary nodes the leading ones create.
 func (p *Process) makeVHTMessage() wire.Message {
 	if len(p.obsList) == 0 {
-		if p.vht.NodeByID(p.myID) != nil {
+		if p.vhtHasNode(p.myID) {
 			return wire.End()
 		}
 		return wire.Done(int64(p.myID))
@@ -127,21 +129,29 @@ func (p *Process) makeInputMessage() wire.Message {
 
 // acceptInput applies an accepted Input message: create the level-0 node
 // for the claimed input class and, if this process made a matching claim,
-// adopt the fresh ID.
+// adopt the fresh ID. Under sharing the node is created once per group;
+// every member still advances its fresh-ID counter and checks its own
+// claim (the new node's ID is the pre-increment counter by construction).
 func (p *Process) acceptInput(m wire.Message) error {
 	in := historytree.Input{Leader: m.C == 1, Value: m.B}
-	for _, v := range p.vht.Level(0) {
-		if v.Input == in {
-			return fmt.Errorf("core: input class %s accepted twice", in)
-		}
-	}
-	node, err := p.vht.AddChild(p.nextFreshID, p.vht.Root(), in)
+	mutate, err := p.opGate(opInput, m.A, m.B, m.C)
 	if err != nil {
 		return err
 	}
+	if mutate {
+		for _, v := range p.vht.Level(0) {
+			if v.Input == in {
+				return fmt.Errorf("core: input class %s accepted twice", in)
+			}
+		}
+		if _, err := p.vht.AddChild(p.nextFreshID, p.vht.Root(), in); err != nil {
+			return err
+		}
+	}
+	newID := p.nextFreshID
 	p.nextFreshID++
 	if !p.claimed && p.myID == int(m.A) && p.input == in {
-		p.myID = node.ID
+		p.myID = newID
 		p.claimed = true
 	}
 	return nil
@@ -152,20 +162,34 @@ func (p *Process) acceptInput(m wire.Message) error {
 // ID if this process contributed the observation, extend the level graph,
 // and prune observations that would close cycles.
 func (p *Process) updateTempVHT(id1, id2, mult int) error {
-	root1 := p.temp.root(id1)
-	root2 := p.temp.root(id2)
-	if root1 == nil || root2 == nil {
-		return fmt.Errorf("core: accepted edge (%d,%d,%d) references unknown temp nodes", id1, id2, mult)
-	}
-	child, err := p.temp.addChild(p.nextFreshID, id1, root2.id, mult)
+	mutate, err := p.opGate(opTemp, int64(id1), int64(id2), int64(mult))
 	if err != nil {
 		return err
 	}
+	if mutate {
+		root1 := p.temp.root(id1)
+		root2 := p.temp.root(id2)
+		if root1 == nil || root2 == nil {
+			return fmt.Errorf("core: accepted edge (%d,%d,%d) references unknown temp nodes", id1, id2, mult)
+		}
+		if _, err := p.temp.addChild(p.nextFreshID, id1, root2.id, mult); err != nil {
+			return err
+		}
+		if !p.cfg.keepAllLinks() && root1.id != root2.id && !p.lg.hasEdge(root1.id, root2.id) {
+			if err := p.lg.addEdge(root1.id, root2.id); err != nil {
+				return err
+			}
+		}
+	}
+	// The per-member bookkeeping below runs on the verify path too: the
+	// fresh child's ID is the pre-increment counter by construction, so
+	// adoption needs no lookup into the (already-updated) shared forest.
+	childID := p.nextFreshID
 	p.nextFreshID++
 	if p.myID == id1 {
 		if i := p.obsIndex(id2, mult); i >= 0 {
 			p.obsList = append(p.obsList[:i], p.obsList[i+1:]...)
-			p.myID = child.id
+			p.myID = childID
 		}
 	}
 	if p.cfg.keepAllLinks() {
@@ -174,11 +198,6 @@ func (p *Process) updateTempVHT(id1, id2, mult int) error {
 		// no observation is ever pruned (the VHT loses the Lemma 4.6
 		// amortization but remains a valid history tree).
 		return nil
-	}
-	if root1.id != root2.id && !p.lg.hasEdge(root1.id, root2.id) {
-		if err := p.lg.addEdge(root1.id, root2.id); err != nil {
-			return err
-		}
 	}
 	p.preventCycles()
 	return nil
@@ -206,6 +225,13 @@ func (p *Process) preventCycles() {
 // node with the accepted Done ID into the VHT, attaching it under the VHT
 // node of its temp root and giving it all red edges along its temp path.
 func (p *Process) updateVHT(id int) error {
+	mutate, err := p.opGate(opDone, int64(id), 0, 0)
+	if err != nil {
+		return err
+	}
+	if !mutate {
+		return nil
+	}
 	tempRoot := p.temp.root(id)
 	if tempRoot == nil {
 		return fmt.Errorf("core: accepted Done(%d) references unknown temp node", id)
@@ -261,8 +287,31 @@ func (p *Process) recordPrimary() bool {
 
 // resetLevelState (re)initializes the temporary VHT and level graph on the
 // node IDs of level-1 below `level`, reusing the process-owned scratch
-// structures across levels and resets.
-func (p *Process) resetLevelState(level int) {
+// structures across levels and resets. Under sharing the rebuild happens
+// once per group (first arrival); every member then points its temp and lg
+// at the shared structures.
+func (p *Process) resetLevelState(level int) error {
+	if g := p.group; g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	mutate, err := p.opGate(opSetup, int64(level), 0, 0)
+	if err != nil {
+		return err
+	}
+	if g := p.group; g != nil {
+		if mutate {
+			g.ids = g.ids[:0]
+			for _, v := range p.vht.Level(level - 1) {
+				g.ids = append(g.ids, v.ID)
+			}
+			g.temp.reset(g.ids)
+			g.lg.reset(g.ids)
+		}
+		p.temp = &g.temp
+		p.lg = &g.lg
+		return nil
+	}
 	prev := p.vht.Level(level - 1)
 	p.idsScratch = p.idsScratch[:0]
 	for _, v := range prev {
@@ -272,4 +321,5 @@ func (p *Process) resetLevelState(level int) {
 	p.lgScratch.reset(p.idsScratch)
 	p.temp = &p.tempScratch
 	p.lg = &p.lgScratch
+	return nil
 }

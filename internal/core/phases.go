@@ -156,12 +156,27 @@ func (p *Process) performLevelReset(resetLevel, newDiam int) error {
 	if !ok {
 		return fmt.Errorf("core: reset to level %d, which this process never started", resetLevel)
 	}
-	if c := p.vht.CompactedLevels(); c > 0 && resetLevel <= c {
-		return fmt.Errorf("core: reset to level %d outran the CompactVHT lag (levels 1..%d released); disable CompactVHT under faulty schedules", resetLevel, c)
+	if g := p.group; g != nil {
+		// Joint truncation of the shared tree (first arrival truncates,
+		// later members resynchronize their log cursors). A fork inside
+		// clears p.group; the private path below then finishes the job.
+		if err := g.truncate(p, resetLevel, newDiam, p.tr.Round(), snap.nextFreshID); err != nil {
+			return err
+		}
+	} else if g := p.forkedFrom; g != nil {
+		// A forked member rejoins here if the group performs the same reset:
+		// the rollback target is the agreed begin-of-level snapshot, where
+		// private and shared state coincide again.
+		g.rejoin(p, resetLevel, newDiam, p.tr.Round(), snap.nextFreshID)
+	}
+	if p.group == nil {
+		if c := p.vht.CompactedLevels(); c > 0 && resetLevel <= c {
+			return fmt.Errorf("core: reset to level %d outran the CompactVHT lag (levels 1..%d released); disable CompactVHT under faulty schedules", resetLevel, c)
+		}
+		p.vht.TruncateLevels(resetLevel)
 	}
 	p.myID = snap.myID
 	p.nextFreshID = snap.nextFreshID
-	p.vht.TruncateLevels(resetLevel)
 	for l := range p.snapshots {
 		if l > resetLevel {
 			delete(p.snapshots, l)
@@ -225,7 +240,9 @@ func (p *Process) performFineReset(index, newDiam int) error {
 	p.temp = nil
 	p.lg = nil
 	if !(p.cfg.buildsInputLevel() && level == 0) {
-		p.resetLevelState(level)
+		if err := p.resetLevelState(level); err != nil {
+			return err
+		}
 	}
 	for _, e := range p.journal[snap.journalLen:] {
 		if e.level != level {

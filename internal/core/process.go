@@ -21,6 +21,18 @@ type Process struct {
 	input historytree.Input
 	rec   *Recorder
 
+	// group, when non-nil, is the run's cross-process sharing group (see
+	// share.go): vht, temp, and lg point into shared structures and every
+	// structural mutation is funneled through the group's operation log.
+	// member is this process's index in the group. A fork (divergence from
+	// the shared log) clears group and the process continues on private
+	// copies rebuilt by replay; forkedFrom remembers the group so the next
+	// level reset — which rolls everyone back to an agreed snapshot — can
+	// rejoin it.
+	group      *shareGroup
+	member     int
+	forkedFrom *shareGroup
+
 	tr transport
 	// trEng is tr's concrete value when it is a plain *engine.Transport
 	// (every run without the block simulation): the broadcast hot path
@@ -182,6 +194,18 @@ func (p *Process) run(tr transport) (any, error) {
 		tr = &blockTransport{inner: tr, t: t}
 	}
 	p.tr = tr
+	if p.group != nil {
+		// Release this member's compaction constraint on exit, whether it
+		// terminated or was unwound by the engine. Re-read p.group at exit
+		// time: a fork clears it.
+		member := p.member
+		g := p.group
+		defer func() {
+			if p.group != nil {
+				g.leave(member)
+			}
+		}()
+	}
 	p.trEng, _ = tr.(*engine.Transport)
 	p.initialize()
 	if p.cfg.Mode == ModeLeaderless {
@@ -198,12 +222,18 @@ func (p *Process) initialize() {
 	}
 	p.initialID = p.myID
 	p.nextFreshID = 2
-	p.vht = historytree.New()
 	p.solver = historytree.NewSolverWith(p.cfg.Arithmetic)
 	p.snapshots = make(map[int]snapshot)
 	p.diamEstimate = 1
 	if p.cfg.Mode == ModeLeaderless {
 		p.diamEstimate = p.cfg.DiamBound
+	}
+	if p.group != nil {
+		// Shared mode: the group pre-built the initial tree (including the
+		// basic-mode level-0 partition below).
+		p.vht = p.group.tree
+	} else {
+		p.vht = historytree.New()
 	}
 	if p.cfg.buildsInputLevel() {
 		// Level 0 is constructed from inputs (Section 5); the VHT starts
@@ -212,11 +242,13 @@ func (p *Process) initialize() {
 		return
 	}
 	// Basic mode: level 0 is the pre-agreed {leader, non-leader} partition.
-	if _, err := p.vht.AddChild(0, p.vht.Root(), historytree.Input{Leader: true}); err != nil {
-		panic(err) // fresh tree; cannot fail
-	}
-	if _, err := p.vht.AddChild(1, p.vht.Root(), historytree.Input{}); err != nil {
-		panic(err)
+	if p.group == nil {
+		if _, err := p.vht.AddChild(0, p.vht.Root(), historytree.Input{Leader: true}); err != nil {
+			panic(err) // fresh tree; cannot fail
+		}
+		if _, err := p.vht.AddChild(1, p.vht.Root(), historytree.Input{}); err != nil {
+			panic(err)
+		}
 	}
 	p.currentLevel = 1
 }
@@ -261,7 +293,7 @@ func (p *Process) mainLoop() (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			if res.Known && vhtComplete(p.vht, p.currentLevel) {
+			if res.Known && p.vhtCompleteNow() {
 				p.pending = &pendingOutput{
 					res:           res,
 					levels:        p.currentLevel,
@@ -306,6 +338,19 @@ func (p *Process) maybeCompact() {
 	if p.input.Leader || p.cfg.Mode == ModeLeaderless {
 		keep = min(keep, p.solver.ConsumedLevel())
 	}
+	if g := p.group; g != nil {
+		// Shared tree: compact to the minimum over every active member's
+		// bound, so no member's solver (or reset headroom) is outrun.
+		// CompactLevels no-ops on bounds it already covers, so repeated
+		// calls at the same level are free.
+		g.mu.Lock()
+		g.keeps[p.member] = keep
+		if k := g.minKeepLocked(); k > 1 {
+			g.tree.CompactLevels(k)
+		}
+		g.mu.Unlock()
+		return
+	}
 	if keep > 1 {
 		p.vht.CompactLevels(keep)
 	}
@@ -339,6 +384,12 @@ func (p *Process) emitPending() (any, error) {
 // through the persistent incremental Solver or, under the FromScratchCount
 // ablation, the reference implementation (timed for comparability).
 func (p *Process) countNow() (historytree.CountResult, error) {
+	if g := p.group; g != nil {
+		// The solver memoizes balance pairs on the tree and the level graph
+		// compresses paths on lookup: "reads" of shared state mutate it.
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	if !p.cfg.FromScratchCount {
 		return p.solver.CountAt(p.vht, p.currentLevel)
 	}
@@ -351,6 +402,10 @@ func (p *Process) countNow() (historytree.CountResult, error) {
 
 // frequenciesNow is countNow's leaderless counterpart.
 func (p *Process) frequenciesNow() (historytree.FrequencyResult, error) {
+	if g := p.group; g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	if !p.cfg.FromScratchCount {
 		return p.solver.FrequenciesAt(p.vht, p.currentLevel)
 	}
@@ -388,6 +443,27 @@ func vhtComplete(t *historytree.Tree, levels int) bool {
 		}
 	}
 	return true
+}
+
+// vhtCompleteNow is vhtComplete on the process's tree, holding the group
+// lock when the tree is shared (another member's error phase may lag the
+// group, so its applyAccepted can be in flight).
+func (p *Process) vhtCompleteNow() bool {
+	if g := p.group; g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	return vhtComplete(p.vht, p.currentLevel)
+}
+
+// vhtHasNode reports whether the process's tree has a node with the given
+// ID, holding the group lock when the tree is shared.
+func (p *Process) vhtHasNode(id int) bool {
+	if g := p.group; g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
+	return p.vht.NodeByID(id) != nil
 }
 
 // mainLoopLeaderless is the Section 5 leaderless algorithm: reliable
@@ -505,7 +581,18 @@ func (p *Process) constructLevel() (levelControl, error) {
 // applyAccepted applies an accepted Edge, Done, or Input message to the
 // process state. It is shared by the live path (record=true) and by the
 // journal replay of fine-grained resets (record=false).
+//
+// Under sharing, the whole message is one critical section — not each
+// operation. A coarser lock is required for correctness, not just
+// simplicity: a member verifying the first pair of a batch must not observe
+// a state where another member has already applied later pairs the
+// verifier's own private bookkeeping (ID adoption, observation pruning)
+// has not caught up with.
 func (p *Process) applyAccepted(accepted wire.Message, record bool) error {
+	if g := p.group; g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock() // g stays valid even if a fork clears p.group
+	}
 	switch accepted.Label {
 	case wire.LabelEdge, wire.LabelEdgeBatch:
 		if record && p.recordPrimary() {

@@ -44,6 +44,16 @@ type RunStats struct {
 	SolverCRTRecons    int
 	SolverEvictions    int
 	SolverWitnessFalls int
+	// Cross-process structural-sharing counters (all zero when sharing is
+	// off — PrivateVHT, single-process runs, FineGrainedReset):
+	// SharedApplies is the number of structural operations applied to the
+	// shared state (each the collapse of what was previously n identical
+	// applications), SharedHits the number of O(1) log verifications that
+	// replaced them, and SharedForks the number of processes that diverged
+	// out-of-model and went copy-on-write private.
+	SharedApplies int64
+	SharedHits    int64
+	SharedForks   int
 	// History-tree residency counters of the deciding process (all zero
 	// when its tree was discarded, e.g. Halt mid-level): CompactedLevels is
 	// the deepest level released by CompactVHT compaction, CompactedNodes
@@ -131,8 +141,16 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 
 	procs := make([]engine.Coroutine, n)
 	leaderPID := -1
+	var grp *shareGroup
+	if n > 1 && !cfg.PrivateVHT && !cfg.FineGrainedReset {
+		grp = newShareGroup(cfg, n)
+	}
 	for i, in := range inputs {
-		procs[i] = NewProcess(cfg, in)
+		pr := NewProcess(cfg, in)
+		if grp != nil {
+			pr.group, pr.member = grp, i
+		}
+		procs[i] = pr
 		if in.Leader {
 			leaderPID = i
 		}
@@ -176,6 +194,9 @@ func run(ecfg engine.Config, n int, inputs []historytree.Input, cfg Config, opts
 			Resets:         cfg.Recorder.Resets(),
 			WallClock:      wall,
 		},
+	}
+	if grp != nil {
+		out.Stats.SharedApplies, out.Stats.SharedHits, out.Stats.SharedForks = grp.statsSnapshot()
 	}
 	for pid, o := range res.Outputs {
 		oc, ok := o.(*Outcome)

@@ -171,6 +171,10 @@ func (p *Process) receiveTopPtr(mp *wire.Message) (*wire.Message, error) {
 	// relay it — every neighbor, in steady-state broadcast — settle on the
 	// pointer comparison below without touching the fields.
 	top := p.txBoxed
+	// topv shadows *top so the per-delivery comparisons below read a
+	// stack-resident copy instead of chasing the box pointer ~degree times
+	// per round; it is refreshed whenever top moves.
+	topv := *top
 	for _, r := range raw {
 		pm, ok := r.(*wire.Message)
 		if !ok {
@@ -179,24 +183,24 @@ func (p *Process) receiveTopPtr(mp *wire.Message) (*wire.Message, error) {
 			if !ok {
 				return mp, fmt.Errorf("core: received non-protocol message %T", r)
 			}
-			if Higher(wm, *top) {
+			if Higher(wm, topv) {
 				// Copy into a fresh box: the result may be re-broadcast and
 				// pointer-cached downstream, so it must never alias mutable
 				// storage. Cold path — the engine always delivers pointers.
 				hp := new(wire.Message)
 				*hp = wm
-				top = hp
+				top, topv = hp, wm
 			}
 			continue
 		}
 		// An equal message can never be strictly higher, so the struct
 		// comparison spares the full priority comparison for boxes that
 		// arrive with equal values under distinct identities (wave fronts).
-		if pm == top || wire.Equal(*pm, *top) {
+		if pm == top || wire.Equal(*pm, topv) {
 			continue
 		}
-		if Higher(*pm, *top) {
-			top = pm
+		if Higher(*pm, topv) {
+			top, topv = pm, *pm
 		}
 	}
 	return top, nil

@@ -1,6 +1,7 @@
 package dynnet
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -325,16 +326,33 @@ func randomConnectedV2Into(g *Multigraph, n int, p float64, pcg *randv2.PCG) {
 		return
 	}
 	if n <= rcMatrixMaxN {
-		// Dense path without masks (64 < n ≤ 256): same matrix accumulation,
-		// full-triangle emit scan that re-zeroes live cells, keeping the
-		// all-zero pool invariant shared with the bitmask path.
+		// Masked dense path (64 < n ≤ 256): ⌈n/64⌉ occupancy words per row
+		// instead of the n ≤ 64 path's single word, and two mask planes —
+		// tmask for the n−1 tree edges (whose multiplicities live in mat)
+		// and bmask for the Bernoulli extras (always multiplicity 1, so a
+		// bit is the whole record). The Bernoulli loop — n(n−1)/2 draws per
+		// round, the generator's hot loop — therefore touches no memory at
+		// all between word boundaries: each hit is folded into a register
+		// accumulator branchlessly (the ~30%-taken branch has no pattern,
+		// and a mispredict stalls the serial PCG chain). The emit pass
+		// walks only the set bits of the union, so it visits ~|E| cells
+		// instead of scanning the full triangle. mat, tmask and bmask are
+		// all restored to zero by the emit pass, keeping the pool
+		// invariant.
+		w := (n + 63) >> 6
 		if cap(buf.mat) < n*n {
 			buf.mat = make([]int, n*n)
 		} else {
 			buf.mat = buf.mat[:n*n]
 		}
+		if cap(buf.mask) < 2*n*w {
+			buf.mask = make([]uint64, 2*n*w)
+		} else {
+			buf.mask = buf.mask[:2*n*w]
+		}
 		mat := buf.mat
-		cnt := 0
+		tmask := buf.mask[:n*w]
+		bmask := buf.mask[n*w : 2*n*w]
 		for i := 1; i < n; i++ {
 			// Attach perm[i] to a uniformly random earlier vertex: a random
 			// recursive tree, which has expected diameter Θ(log n).
@@ -342,31 +360,65 @@ func randomConnectedV2Into(g *Multigraph, n int, p float64, pcg *randv2.PCG) {
 			if u > v {
 				u, v = v, u
 			}
-			if mat[u*n+v] == 0 {
-				cnt++
-			}
 			mat[u*n+v]++
+			tmask[u*w+v>>6] |= 1 << uint(v&63)
 		}
+		// The Bernoulli section draws n(n−1)/2 values from a serial
+		// dependency chain; lifting the PCG's 128-bit state into locals for
+		// its duration keeps the chain entirely in registers (the method
+		// form reloads and stores the heap state every draw). localPCG
+		// replicates rand/v2's step bit-for-bit — the equivalence tests
+		// that replay schedules through rand/v2 itself would catch any
+		// divergence, including an upstream algorithm change.
+		st := extractPCG(pcg)
 		for u := 0; u < n; u++ {
-			base := u * n
-			for v := u + 1; v < n; v++ {
-				if pcg.Uint64()<<11>>11 < pThr {
-					if mat[base+v] == 0 {
-						cnt++
-					}
-					mat[base+v]++
+			brow := bmask[u*w : u*w+w]
+			for v := u + 1; v < n; {
+				wi := v >> 6
+				end := (wi + 1) << 6
+				if end > n {
+					end = n
 				}
+				var acc uint64
+				for ; v < end; v++ {
+					var hit uint64
+					if st.uint64()<<11>>11 < pThr {
+						hit = 1
+					}
+					acc |= hit << uint(v&63)
+				}
+				brow[wi] = acc
 			}
+		}
+		pcg.Seed(st.hi, st.lo)
+		cnt := 0
+		for i := range tmask {
+			cnt += bits.OnesCount64(tmask[i] | bmask[i])
 		}
 		if cap(links) < cnt {
 			links = make([]Link, 0, cnt)
 		}
 		for u := 0; u < n; u++ {
 			base := u * n
-			for v := u + 1; v < n; v++ {
-				if m := mat[base+v]; m > 0 {
-					links = append(links, Link{U: u, V: v, Mult: m})
-					mat[base+v] = 0
+			mb := u * w
+			for wi := 0; wi < w; wi++ {
+				tm, bm := tmask[mb+wi], bmask[mb+wi]
+				m := tm | bm
+				if m == 0 {
+					continue
+				}
+				tmask[mb+wi], bmask[mb+wi] = 0, 0
+				vb := wi << 6
+				for m != 0 {
+					tz := uint(bits.TrailingZeros64(m))
+					m &= m - 1
+					v := vb + int(tz)
+					mult := int(bm >> tz & 1)
+					if tm>>tz&1 != 0 {
+						mult += mat[base+v]
+						mat[base+v] = 0
+					}
+					links = append(links, Link{U: u, V: v, Mult: mult})
 				}
 			}
 		}
@@ -422,6 +474,52 @@ func randomConnectedV2Into(g *Multigraph, n int, p float64, pcg *randv2.PCG) {
 // (the pooled scratch matrix costs n² words).
 const rcMatrixMaxN = 256
 
+// localPCG is a register-resident copy of math/rand/v2's PCG: the same
+// 128-bit LCG step and DXSM output function, operated on locals so a tight
+// draw loop never touches the heap state. Extract with extractPCG, run the
+// draws, and write the state back with pcg.Seed(st.hi, st.lo) — Seed
+// assigns the raw state words, so the round trip is exact. The constants
+// and step mirror $GOROOT/src/math/rand/v2/pcg.go; the schedule-replay
+// tests (TestRandomConnectedScheduleBornCanonical and the fuzzer) compare
+// whole graphs against draws made by rand/v2 itself, so any divergence —
+// ours or upstream's — fails loudly.
+type localPCG struct{ hi, lo uint64 }
+
+// extractPCG reads p's state via its binary encoding ("pcg:" + big-endian
+// hi, lo), the only exported window into it.
+func extractPCG(p *randv2.PCG) localPCG {
+	var b [20]byte
+	buf, err := p.AppendBinary(b[:0])
+	if err != nil || len(buf) != 20 {
+		panic("dynnet: unexpected PCG encoding")
+	}
+	return localPCG{
+		hi: binary.BigEndian.Uint64(buf[4:]),
+		lo: binary.BigEndian.Uint64(buf[12:]),
+	}
+}
+
+// uint64 is rand/v2 (*PCG).Uint64 on local state.
+func (s *localPCG) uint64() uint64 {
+	const (
+		mulHi = 2549297995355413924
+		mulLo = 4865540595714422341
+		incHi = 6364136223846793005
+		incLo = 1442695040888963407
+	)
+	hi, lo := bits.Mul64(s.lo, mulLo)
+	hi += s.hi*mulLo + s.lo*mulHi
+	lo, c := bits.Add64(lo, incLo, 0)
+	hi, _ = bits.Add64(hi, incHi, c)
+	s.lo, s.hi = lo, hi
+	const cheapMul = 0xda942042e4dd58b5
+	out := hi ^ hi>>32
+	out *= cheapMul
+	out ^= out >> 48
+	out *= lo | 1
+	return out
+}
+
 // rcBuf is the reusable scratch of one randomConnectedV2Into call. Only the
 // buffers that do not escape into the graph live here; the links slice
 // belongs to the target Multigraph. Invariant between calls: mat is
@@ -432,6 +530,7 @@ type rcBuf struct {
 	tree []Link
 	mat  []int      // n×n multiplicity matrix of the dense paths
 	rows [64]uint64 // per-row occupancy masks of the bitmask path (n ≤ 64)
+	mask []uint64   // 2×n×⌈n/64⌉ words: tree + Bernoulli planes of the masked dense path
 }
 
 var rcScratch = sync.Pool{New: func() any { return new(rcBuf) }}

@@ -95,7 +95,13 @@ func TestRandomConnectedScheduleBornCanonical(t *testing.T) {
 		n    int
 		p    float64
 		seed int64
-	}{{2, 0, 1}, {5, 0.3, 7}, {8, 0.9, 99}, {12, 0.5, 3}} {
+	}{
+		{2, 0, 1}, {5, 0.3, 7}, {8, 0.9, 99}, {12, 0.5, 3},
+		// One case per generator path: bitmask (n ≤ 64), masked dense
+		// (64 < n ≤ 256), and sparse merge (n > 256). All three must
+		// consume the identical PCG stream as the plain replay below.
+		{64, 0.3, 11}, {96, 0.3, 11}, {257, 0.05, 11},
+	} {
 		s := NewRandomConnected(tc.n, tc.p, tc.seed)
 		for _, round := range []int{1, 2, 17} {
 			g := s.Graph(round)

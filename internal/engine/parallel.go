@@ -39,9 +39,14 @@ type parShard struct {
 //     inbox, done, and the coroutine handles) is indexed by pid and each pid
 //     belongs to exactly one shard, so workers never write the same memory.
 //   - route+deliver: the runner, having collected every worker's barrier
-//     reply, routes the submissions through the shared router on its own
-//     goroutine — the same single-threaded router the other schedulers use,
-//     which is what keeps accounting, Trace, and BitLimitError byte-identical.
+//     reply, runs the router's prepare half on its own goroutine — the same
+//     single-threaded accounting, schedule lookup, and inbox carve-out the
+//     other schedulers use, which is what keeps accounting, Trace, and
+//     BitLimitError byte-identical. The delivery fill is shard-local: each
+//     worker fills its own shard's inboxes (router.fill(lo, hi)) at the top
+//     of its deliver phase, from the prepare-time liveness and message
+//     snapshots, so the O(links) fan-out happens in parallel without an
+//     extra barrier.
 //
 // The two-phase barrier is a command send plus a reply receive per shard
 // (O(shards) channel operations per round) replacing the sequential
@@ -171,6 +176,13 @@ func (p *parRunner) worker(i int) {
 				}
 			}
 		case parDeliver:
+			// Shard-local batched delivery: fill this shard's inboxes here,
+			// on the shard's own worker, instead of on the runner's
+			// goroutine. prepare resolved liveness and snapshotted the
+			// submissions, so the fill touches only [lo, hi)-owned cursors
+			// and backing regions while other workers are already resuming
+			// their own processes.
+			p.rt.fill(sh.lo, sh.hi)
 			for pid := sh.lo; pid < sh.hi; pid++ {
 				if p.state[pid] != stateWaiting {
 					continue
@@ -264,7 +276,9 @@ func (p *parRunner) run(procs []Coroutine) (*Result, error) {
 			p.runErr = err
 			break
 		}
-		out, err := p.rt.route(p.state, p.pending, res)
+		// prepare only — the deliver barrier below runs the fill half on
+		// each shard's own worker.
+		out, err := p.rt.prepare(p.state, p.pending, res)
 		if err != nil {
 			p.runErr = err
 			break

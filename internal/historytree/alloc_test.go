@@ -59,6 +59,47 @@ func TestRefineRoundAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchedRefineRoundAllocs gates the batched SoA pass at the same bound
+// as the witness (≤ 8), though its measured steady state is 1 object per
+// round — the returned level slice; the arena, spans, interning table, and
+// group histogram are all flat reused slices.
+func TestBatchedRefineRoundAllocs(t *testing.T) {
+	n := 8
+	s := dynnet.NewRandomConnected(n, 0.4, 5)
+	tree := New()
+	nextID := 0
+	card := map[int]int{RootID: n}
+	parent, err := tree.AddChild(nextID, tree.Root(), Input{Leader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextID++
+	card[parent.ID] = n
+	cur := make([]*Node, n)
+	for p := range cur {
+		cur[p] = parent
+	}
+	br := newBatchRefiner(n)
+	for round := 1; round <= 16; round++ {
+		next, err := br.refine(tree, s.Graph(round), cur, &nextID, card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	g := s.Graph(17)
+	allocs := testing.AllocsPerRun(64, func() {
+		next, err := br.refine(tree, g, cur, &nextID, card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	})
+	if allocs > 8 {
+		t.Fatalf("batched refine allocated %.1f objects per round, want ≤ 8", allocs)
+	}
+}
+
 func TestCanonicalFormAllocs(t *testing.T) {
 	s := dynnet.NewRandomConnected(8, 0.4, 5)
 	inputs := make([]Input, 8)

@@ -1,0 +1,312 @@
+package historytree
+
+import (
+	"slices"
+
+	"anondyn/internal/dynnet"
+)
+
+// This file is the batched structure-of-arrays refinement pass (DESIGN.md
+// decision 15). One round of partition refinement is reorganized from n
+// independent pointer-chasing passes (gather a []pair per process, hash it,
+// probe a slot table of boxed groups) into a handful of linear sweeps over
+// flat arrays:
+//
+//  1. CSR gather: count each process's observation degree over the round's
+//     canonical links, prefix-sum the counts into span offsets, and scatter
+//     every observation into one contiguous arena — a packed uint64 per
+//     observation, (source class ID << 32 | multiplicity).
+//  2. Canonicalize: sort each span in place (packed keys order by source ID
+//     first, so a plain integer sort is the pair sort) and merge duplicate
+//     sources by summing multiplicities.
+//  3. Intern + create: walk processes in ascending order, interning each
+//     (current class, canonical span) key in a generation-stamped int32
+//     table whose slots point back into the arena. The first process of a
+//     new group creates the child node — the same first-occurrence order as
+//     the witness refiner, so node creation order, IDs, and red-edge
+//     insertion order are byte-identical.
+//  4. Counting pass: group cardinalities come from one histogram over the
+//     interned keys, replacing n individual map increments with one map
+//     update per group.
+//
+// The interned keys double as the cross-process structural-sharing signal:
+// two processes with equal keys are indistinguishable this round and the
+// whole group is fed by one node creation (step 3) and one cardinality
+// update (step 4) instead of n.
+//
+// The witness refiner (build.go refine) is retained as the equivalence
+// oracle: batch_test.go, the quick suite, and FuzzBatchedRefine pin the two
+// byte-identical, and refine falls back to it for the (absurd in-model)
+// rounds whose multiplicities overflow the packed representation.
+
+// packedMultBits is the multiplicity field width of a packed observation.
+// Source IDs occupy the high bits, so packed integer order is (id, mult)
+// lexicographic order — exactly the canonical pair order.
+const packedMultBits = 32
+
+// maxPackedMult bounds a single link multiplicity so that per-span merge
+// sums stay below 2^32 in every realistic round (the merge guard catches
+// the rest exactly).
+const maxPackedMult = 1 << 30
+
+func packObs(id, mult int) uint64 {
+	return uint64(id)<<packedMultBits | uint64(mult)
+}
+
+func unpackID(k uint64) int   { return int(k >> packedMultBits) }
+func unpackMult(k uint64) int { return int(k & (1<<packedMultBits - 1)) }
+
+// batchSlot is one open-addressing slot of the interning table. The span is
+// referenced by arena offsets instead of a stored copy: canonical spans stay
+// where the gather pass put them, so interning moves no memory.
+type batchSlot struct {
+	gen      uint32
+	gid      int32 // dense group key, assigned in first-occurrence order
+	parent   int32 // current-class node ID
+	hash     uint64
+	off, end int32 // canonical span location in the arena
+}
+
+// batchRefiner holds the flat per-round scratch of the batched pass. All
+// slices are reused across rounds; in steady state refine's only allocation
+// is the returned level slice.
+type batchRefiner struct {
+	deg   []int32  // per-process degree counts, then scatter cursors
+	off   []int32  // span start offsets (len n+1)
+	end   []int32  // canonical span end per process, after merge
+	gid   []int32  // per-process interned group key
+	arena []uint64 // packed observations, all processes contiguous
+
+	slots []batchSlot // power-of-two interning table
+	gen   uint32
+
+	groupNode []*Node // group key -> created child node
+	groupCard []int32 // counting-pass histogram over group keys
+
+	// witness is the lazily created fallback refiner for rounds whose
+	// multiplicities overflow the packed representation. nil on every
+	// realistic input.
+	witness *refiner
+}
+
+func newBatchRefiner(n int) *batchRefiner {
+	size := 4
+	for size < 4*n {
+		size <<= 1
+	}
+	return &batchRefiner{
+		deg:       make([]int32, n),
+		off:       make([]int32, n+1),
+		end:       make([]int32, n),
+		gid:       make([]int32, n),
+		slots:     make([]batchSlot, size),
+		groupNode: make([]*Node, n),
+		groupCard: make([]int32, n),
+	}
+}
+
+// refine is the batched counterpart of refiner.refine: identical resulting
+// tree, node IDs, red edges, and cardinalities, produced by the SoA pass
+// described at the top of the file.
+func (r *batchRefiner) refine(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[int]int) ([]*Node, error) {
+	n := len(cur)
+	links := g.CanonicalLinks()
+
+	// Pass 1a: degree counts (observation entries per process, one per link
+	// endpoint), guarding single-link multiplicities.
+	deg := r.deg
+	for p := range deg {
+		deg[p] = 0
+	}
+	wide := false
+	for _, l := range links {
+		if l.Mult >= maxPackedMult || l.Mult < 0 {
+			wide = true
+			break
+		}
+		deg[l.U]++
+		if l.U != l.V {
+			deg[l.V]++
+		}
+	}
+	if wide {
+		return r.refineWitness(t, g, cur, nextID, card)
+	}
+
+	// Pass 1b: prefix-sum into span offsets; deg becomes the scatter cursor.
+	off := r.off
+	total := int32(0)
+	for p := 0; p < n; p++ {
+		off[p] = total
+		total += deg[p]
+		deg[p] = off[p]
+	}
+	off[n] = total
+	if cap(r.arena) < int(total) {
+		r.arena = make([]uint64, total)
+	}
+	arena := r.arena[:total]
+
+	// Pass 1c: scatter the packed observations into the arena.
+	for _, l := range links {
+		if l.U == l.V {
+			arena[deg[l.U]] = packObs(cur[l.U].ID, l.Mult)
+			deg[l.U]++
+			continue
+		}
+		arena[deg[l.U]] = packObs(cur[l.V].ID, l.Mult)
+		deg[l.U]++
+		arena[deg[l.V]] = packObs(cur[l.U].ID, l.Mult)
+		deg[l.V]++
+	}
+
+	// Pass 2: canonicalize every span in place. Packed keys sort by source
+	// ID first, so equal sources are adjacent after the integer sort and the
+	// merge accumulates their multiplicities; an accumulated sum reaching the
+	// ID bits falls back to the witness for the whole round (the links are
+	// untouched, so the witness re-gathers cleanly).
+	end := r.end
+	for p := 0; p < n; p++ {
+		s := arena[off[p]:off[p+1]]
+		sortPacked(s)
+		w := 0
+		for i := 1; i < len(s); i++ {
+			if s[i]>>packedMultBits == s[w]>>packedMultBits {
+				sum := s[w]&(1<<packedMultBits-1) + s[i]&(1<<packedMultBits-1)
+				if sum>>packedMultBits != 0 {
+					return r.refineWitness(t, g, cur, nextID, card)
+				}
+				s[w] = s[w]&^uint64(1<<packedMultBits-1) | sum
+			} else {
+				w++
+				s[w] = s[i]
+			}
+		}
+		if len(s) == 0 {
+			end[p] = off[p]
+		} else {
+			end[p] = off[p] + int32(w) + 1
+		}
+	}
+
+	// Pass 3: intern (class, canonical span) keys in ascending process
+	// order, creating each group's child node at its first occurrence — the
+	// witness's exact creation order.
+	r.gen++
+	numGroups := int32(0)
+	next := make([]*Node, n)
+	for p := 0; p < n; p++ {
+		span := arena[off[p]:end[p]]
+		parent := cur[p]
+		h := hashPacked(uint64(parent.ID), span)
+		slot := r.lookup(h, int32(parent.ID), span, arena)
+		if slot.gen != r.gen {
+			node, err := t.AddChild(*nextID, parent, Input{})
+			if err != nil {
+				return nil, err
+			}
+			*nextID++
+			// Spans are sorted by source ID: AddRed insertion order matches
+			// the witness's sorted-pairs loop.
+			for _, pk := range span {
+				if err := t.AddRed(node, t.NodeByID(unpackID(pk)), unpackMult(pk)); err != nil {
+					return nil, err
+				}
+			}
+			*slot = batchSlot{gen: r.gen, gid: numGroups, parent: int32(parent.ID), hash: h, off: off[p], end: end[p]}
+			if int(numGroups) >= len(r.groupNode) {
+				r.groupNode = append(r.groupNode, nil)
+				r.groupCard = append(r.groupCard, 0)
+			}
+			r.groupNode[numGroups] = node
+			numGroups++
+		}
+		r.gid[p] = slot.gid
+		next[p] = r.groupNode[slot.gid]
+	}
+
+	// Pass 4: counting pass over the interned keys — one histogram sweep,
+	// then a single cardinality update per group instead of one per process.
+	gc := r.groupCard[:numGroups]
+	for i := range gc {
+		gc[i] = 0
+	}
+	for _, k := range r.gid[:n] {
+		gc[k]++
+	}
+	for k, c := range gc {
+		card[r.groupNode[k].ID] += int(c)
+	}
+	return next, nil
+}
+
+// refineWitness delegates one round to the witness refiner (multiplicities
+// beyond the packed range); the lazily created instance is kept for reuse.
+func (r *batchRefiner) refineWitness(t *Tree, g *dynnet.Multigraph, cur []*Node, nextID *int, card map[int]int) ([]*Node, error) {
+	if r.witness == nil {
+		r.witness = newRefiner(len(cur))
+	}
+	return r.witness.refine(t, g, cur, nextID, card)
+}
+
+// lookup returns the live slot holding (parent, span), or the empty slot
+// where that group should be inserted. Span equality is a flat word compare
+// inside the arena.
+func (r *batchRefiner) lookup(h uint64, parent int32, span []uint64, arena []uint64) *batchSlot {
+	mask := uint64(len(r.slots) - 1)
+	for idx := h & mask; ; idx = (idx + 1) & mask {
+		s := &r.slots[idx]
+		if s.gen != r.gen {
+			return s
+		}
+		if s.hash == h && s.parent == parent && spanEqual(arena[s.off:s.end], span) {
+			return s
+		}
+	}
+}
+
+func spanEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashPacked is FNV-1a over (seed, packed span): one multiply per
+// observation where the pair-slice hash needed two.
+func hashPacked(seed uint64, span []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ seed) * prime64
+	for _, k := range span {
+		h = (h ^ k) * prime64
+	}
+	return h
+}
+
+// sortPacked sorts a span of packed observations. Spans are usually a
+// handful of entries (a process's degree in one round), where insertion
+// sort beats the general sort; large spans fall through to slices.Sort.
+func sortPacked(s []uint64) {
+	if len(s) <= 16 {
+		for i := 1; i < len(s); i++ {
+			k := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > k {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = k
+		}
+		return
+	}
+	slices.Sort(s)
+}

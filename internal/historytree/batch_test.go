@@ -1,0 +1,308 @@
+package historytree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anondyn/internal/dynnet"
+)
+
+// batch_test.go pins the batched SoA refinement pass (batch.go) against the
+// witness refiner (build.go refine) under the reference_test.go discipline:
+// not just isomorphic trees but byte-identical CanonicalForm, identical node
+// IDs (creation order), identical NodeOf assignments, and identical
+// cardinalities.
+
+// witnessBuild is Build driven by the witness refiner.
+func witnessBuild(s dynnet.Schedule, inputs []Input, rounds int) (*Run, error) {
+	return buildWith(s, inputs, rounds, newRefiner(s.N()).refine)
+}
+
+// requireSameRun asserts the two builds are indistinguishable in every
+// public dimension: canonical form bytes, per-level node IDs, red-edge
+// structure, process-to-node assignments, and cardinalities.
+func requireSameRun(t *testing.T, got, want *Run) {
+	t.Helper()
+	if g, w := CanonicalForm(got.Tree), CanonicalForm(want.Tree); g != w {
+		t.Fatalf("CanonicalForm mismatch:\n got %q\nwant %q", g, w)
+	}
+	requireSameLiveLevels(t, got.Tree, want.Tree, 0)
+	if len(got.NodeOf) != len(want.NodeOf) {
+		t.Fatalf("NodeOf rows: got %d, want %d", len(got.NodeOf), len(want.NodeOf))
+	}
+	for r := range got.NodeOf {
+		for p := range got.NodeOf[r] {
+			if g, w := got.NodeOf[r][p].ID, want.NodeOf[r][p].ID; g != w {
+				t.Fatalf("NodeOf[%d][%d] = %d, want %d", r, p, g, w)
+			}
+		}
+	}
+	if len(got.Card) != len(want.Card) {
+		t.Fatalf("Card size: got %d, want %d", len(got.Card), len(want.Card))
+	}
+	for id, c := range want.Card {
+		if got.Card[id] != c {
+			t.Fatalf("Card[%d] = %d, want %d", id, got.Card[id], c)
+		}
+	}
+}
+
+// requireSameLiveLevels compares the resident structure of two trees level
+// by level from `from` up: node IDs in level order, parent IDs, and the red
+// edge lists (source ID and multiplicity, insertion order included).
+func requireSameLiveLevels(t *testing.T, got, want *Tree, from int) {
+	t.Helper()
+	if got.Depth() != want.Depth() {
+		t.Fatalf("depth: got %d, want %d", got.Depth(), want.Depth())
+	}
+	for l := from; l <= got.Depth(); l++ {
+		gl, wl := got.Level(l), want.Level(l)
+		if len(gl) != len(wl) {
+			t.Fatalf("level %d size: got %d, want %d", l, len(gl), len(wl))
+		}
+		for i := range gl {
+			if gl[i].ID != wl[i].ID {
+				t.Fatalf("level %d node %d: ID %d, want %d", l, i, gl[i].ID, wl[i].ID)
+			}
+			gp, wp := gl[i].Parent, wl[i].Parent
+			if (gp == nil) != (wp == nil) || (gp != nil && gp.ID != wp.ID) {
+				t.Fatalf("level %d node %d: parent mismatch", l, i)
+			}
+			if len(gl[i].Red) != len(wl[i].Red) {
+				t.Fatalf("level %d node %d: %d red edges, want %d", l, i, len(gl[i].Red), len(wl[i].Red))
+			}
+			for j := range gl[i].Red {
+				ge, we := gl[i].Red[j], wl[i].Red[j]
+				if ge.Src.ID != we.Src.ID || ge.Mult != we.Mult {
+					t.Fatalf("level %d node %d red %d: (%d,%d), want (%d,%d)",
+						l, i, j, ge.Src.ID, ge.Mult, we.Src.ID, we.Mult)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickBatchedMatchesWitness is the batched-vs-witness quick suite:
+// random connected schedules, random inputs, byte-identical runs.
+func TestQuickBatchedMatchesWitness(t *testing.T) {
+	property := func(nRaw, roundsRaw, pRaw uint8, seed int64) bool {
+		s, inputs, rounds := quickParams(nRaw, roundsRaw, pRaw, seed)
+		got, err := Build(s, inputs, rounds)
+		if err != nil {
+			t.Logf("batched Build: %v", err)
+			return false
+		}
+		want, err := witnessBuild(s, inputs, rounds)
+		if err != nil {
+			t.Logf("witness Build: %v", err)
+			return false
+		}
+		if err := got.Tree.Validate(); err != nil {
+			t.Logf("batched tree Validate: %v", err)
+			return false
+		}
+		requireSameRun(t, got, want)
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedMatchesWitnessTopologies covers the structured schedules the
+// quick suite's random generator never emits.
+func TestBatchedMatchesWitnessTopologies(t *testing.T) {
+	cases := []struct {
+		name   string
+		s      dynnet.Schedule
+		rounds int
+	}{
+		{"static-path", dynnet.NewStatic(dynnet.Path(9)), 18},
+		{"static-complete", dynnet.NewStatic(dynnet.Complete(12)), 10},
+		{"static-cycle", dynnet.NewStatic(dynnet.Cycle(10)), 15},
+		{"rotating-star", dynnet.NewRotatingStar(8), 16},
+		{"single", dynnet.NewStatic(dynnet.Complete(1)), 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.s.N()
+			inputs := make([]Input, n)
+			inputs[0].Leader = true
+			for i := range inputs {
+				inputs[i].Value = int64(i % 3)
+			}
+			got, err := Build(tc.s, inputs, tc.rounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := witnessBuild(tc.s, inputs, tc.rounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, got, want)
+		})
+	}
+}
+
+// TestBatchedWideMultFallback drives multiplicities past the packed 32-bit
+// representation: the batched pass must detect the overflow and delegate the
+// round to the witness, still producing an identical run. Both guards are
+// exercised — a single link beyond maxPackedMult, and moderate links whose
+// per-span merge sum crosses 2^32.
+func TestBatchedWideMultFallback(t *testing.T) {
+	t.Run("single-link", func(t *testing.T) {
+		g := dynnet.NewMultigraph(4)
+		g.MustAddLink(0, 1, maxPackedMult+7)
+		g.MustAddLink(1, 2, 3)
+		g.MustAddLink(2, 3, 1)
+		requireWideFallback(t, g)
+	})
+	t.Run("merge-sum", func(t *testing.T) {
+		// Three parallel class-equal sources each below the single-link
+		// bound, summing past 32 bits after the merge.
+		g := dynnet.NewMultigraph(5)
+		g.MustAddLink(0, 1, maxPackedMult-1)
+		g.MustAddLink(0, 2, maxPackedMult-1)
+		g.MustAddLink(0, 3, maxPackedMult-1)
+		g.MustAddLink(0, 4, maxPackedMult-1)
+		g.MustAddLink(1, 2, 1)
+		g.MustAddLink(3, 4, 1)
+		requireWideFallback(t, g)
+	})
+}
+
+func requireWideFallback(t *testing.T, g *dynnet.Multigraph) {
+	t.Helper()
+	s := dynnet.NewStatic(g)
+	inputs := make([]Input, g.N())
+	inputs[0].Leader = true
+	got, err := Build(s, inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := witnessBuild(s, inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, got, want)
+}
+
+// TestBatchedRefineCompactCompose is the compaction×batched regression:
+// refine 12 rounds batched, compact at currentLevel−4 (the core layer's
+// compactLag), keep refining on the compacted tree, and require the live
+// region to match a witness-driven tree put through the identical sequence.
+func TestBatchedRefineCompactCompose(t *testing.T) {
+	const (
+		n          = 10
+		preRounds  = 12
+		postRounds = 6
+		compactLag = 4
+	)
+	s := dynnet.NewRandomConnected(n, 0.35, 17)
+	inputs := make([]Input, n)
+	inputs[0].Leader = true
+
+	type driver struct {
+		tree   *Tree
+		cur    []*Node
+		nextID int
+		card   map[int]int
+		refine refineFunc
+	}
+	start := func(refine refineFunc) *driver {
+		d := &driver{tree: New(), card: map[int]int{RootID: n}, refine: refine}
+		level0 := make(map[Input]*Node)
+		d.cur = make([]*Node, n)
+		for p := 0; p < n; p++ {
+			node, ok := level0[inputs[p]]
+			if !ok {
+				var err error
+				node, err = d.tree.AddChild(d.nextID, d.tree.Root(), inputs[p])
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.nextID++
+				level0[inputs[p]] = node
+			}
+			d.card[node.ID]++
+			d.cur[p] = node
+		}
+		return d
+	}
+	step := func(d *driver, round int) {
+		next, err := d.refine(d.tree, s.Graph(round), d.cur, &d.nextID, d.card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.cur = next
+	}
+
+	batched := start(newBatchRefiner(n).refine)
+	witness := start(newRefiner(n).refine)
+	for r := 1; r <= preRounds; r++ {
+		step(batched, r)
+		step(witness, r)
+	}
+	keep := preRounds - compactLag
+	if got, want := batched.tree.CompactLevels(keep), witness.tree.CompactLevels(keep); got != want {
+		t.Fatalf("CompactLevels freed %d nodes batched, %d witness", got, want)
+	}
+	for r := preRounds + 1; r <= preRounds+postRounds; r++ {
+		step(batched, r)
+		step(witness, r)
+	}
+	// No Validate here: Validate does not model trees that keep growing
+	// after CompactLevels (the witness fails it identically). Structural
+	// equality with the witness-driven tree is the assertion.
+	if got, want := batched.tree.CompactedLevels(), witness.tree.CompactedLevels(); got != want {
+		t.Fatalf("CompactedLevels: got %d, want %d", got, want)
+	}
+	requireSameLiveLevels(t, batched.tree, witness.tree, batched.tree.CompactedLevels())
+	for id, c := range witness.card {
+		if batched.card[id] != c {
+			t.Fatalf("card[%d] = %d, want %d", id, batched.card[id], c)
+		}
+	}
+	for p := range batched.cur {
+		if batched.cur[p].ID != witness.cur[p].ID {
+			t.Fatalf("process %d on node %d, want %d", p, batched.cur[p].ID, witness.cur[p].ID)
+		}
+	}
+}
+
+// TestBatchedGroupKeysCoverLevel checks the interned group keys the sharing
+// layer consumes: after a refine, gid must be a dense first-occurrence
+// numbering whose fibers are exactly the new level's classes.
+func TestBatchedGroupKeysCoverLevel(t *testing.T) {
+	n := 9
+	s := dynnet.NewRandomConnected(n, 0.4, 23)
+	inputs := make([]Input, n)
+	inputs[0].Leader = true
+	run, err := Build(s, inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := run.NodeOf[0]
+	br := newBatchRefiner(n)
+	nextID := len(run.Tree.Level(0))
+	next, err := br.refine(run.Tree, s.Graph(1), cur, &nextID, run.Card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := -1
+	for p := 0; p < n; p++ {
+		k := int(br.gid[p])
+		if k > seen+1 {
+			t.Fatalf("group keys not first-occurrence dense: gid[%d]=%d after max %d", p, k, seen)
+		}
+		if k == seen+1 {
+			seen = k
+		}
+		if br.groupNode[k] != next[p] {
+			t.Fatalf("gid[%d] maps to node %d, process assigned %d", p, br.groupNode[k].ID, next[p].ID)
+		}
+	}
+	if seen+1 != len(run.Tree.Level(1)) {
+		t.Fatalf("%d groups for a level of %d classes", seen+1, len(run.Tree.Level(1)))
+	}
+}

@@ -13,6 +13,47 @@ import (
 // complete-level prefix, through both the from-scratch and the incremental
 // solve paths. Crashers land in testdata/fuzz/FuzzSolverArithmetic/ and
 // are replayed by plain `go test` once checked in.
+// FuzzBatchedRefine fuzzes the batched SoA refinement pass against the
+// witness refiner: on an arbitrary random connected schedule with arbitrary
+// inputs, the two builds must produce byte-identical canonical forms,
+// identical node IDs level by level, and identical cardinalities. The mult
+// multiplier stretches link multiplicities toward (and past) the packed
+// 32-bit representation so the wide-multiplicity fallback is in scope.
+// Crashers land in testdata/fuzz/FuzzBatchedRefine/.
+func FuzzBatchedRefine(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1), uint32(1))
+	f.Add(uint8(7), uint8(9), uint8(128), int64(42), uint32(1))
+	f.Add(uint8(9), uint8(12), uint8(255), int64(-11), uint32(1<<20))
+	f.Add(uint8(4), uint8(6), uint8(60), int64(7), uint32(0))
+	f.Fuzz(func(t *testing.T, nRaw, roundsRaw, pRaw uint8, seed int64, multScale uint32) {
+		base, inputs, rounds := quickParams(nRaw, roundsRaw, pRaw, seed)
+		scale := 1 + int(multScale%(maxPackedMult+2))
+		s := dynnet.NewFunc(base.N(), func(r int) *dynnet.Multigraph {
+			g := base.Graph(r)
+			if scale == 1 {
+				return g
+			}
+			scaled := dynnet.NewMultigraph(g.N())
+			for _, l := range g.Links() {
+				scaled.MustAddLink(l.U, l.V, l.Mult*scale)
+			}
+			return scaled
+		})
+		got, err := Build(s, inputs, rounds)
+		if err != nil {
+			t.Fatalf("batched Build: %v", err)
+		}
+		want, err := witnessBuild(s, inputs, rounds)
+		if err != nil {
+			t.Fatalf("witness Build: %v", err)
+		}
+		if err := got.Tree.Validate(); err != nil {
+			t.Fatalf("batched tree Validate: %v", err)
+		}
+		requireSameRun(t, got, want)
+	})
+}
+
 func FuzzSolverArithmetic(f *testing.F) {
 	f.Add(byte(0), uint16(0), int64(1), false)
 	f.Add(byte(4), uint16(26000), int64(42), false)

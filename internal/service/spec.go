@@ -87,6 +87,13 @@ type JobSpec struct {
 	// fault plans a reset can outrun the compaction lag and abort the run
 	// with a structured error — prefer leaving it off with faults.
 	CompactVHT bool `json:"compact,omitempty"`
+	// PrivateVHT disables cross-process structural sharing: every process
+	// keeps its own VHT and applies every accepted message itself, as the
+	// pre-sharing code did. The default (false) shares one structure per
+	// run through a verified operation log. Results are identical (pinned
+	// by the core sharing equivalence suite), so the spec hash ignores it;
+	// it exists as an ablation knob for perf comparisons.
+	PrivateVHT bool `json:"private_vht,omitempty"`
 	// Arithmetic selects the counting solver's exact-arithmetic backend:
 	// "" or "modular" for the multi-modular residue/CRT default, "big"
 	// for the fraction-free big.Int eliminator kept as the exactness
@@ -226,6 +233,7 @@ func (s JobSpec) Hash() string {
 	s.Scheduler = ""
 	s.Arithmetic = ""
 	s.CompactVHT = false
+	s.PrivateVHT = false
 	// The deadline only decides when a non-terminating run is abandoned;
 	// completed results are independent of it, and failed runs are never
 	// cached, so it must not fragment the cache either. Faults and
@@ -299,6 +307,7 @@ func (s JobSpec) config() core.Config {
 		KeepAllLinks:     s.KeepAll,
 		EagerTermination: s.Eager,
 		CompactVHT:       s.CompactVHT,
+		PrivateVHT:       s.PrivateVHT,
 	}
 	if s.Arithmetic == "big" {
 		cfg.Arithmetic = historytree.ArithBig
