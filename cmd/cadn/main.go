@@ -8,6 +8,7 @@
 //	go run ./cmd/cadn -n 8 -topology path          # static path (worst diameter)
 //	go run ./cmd/cadn -n 8 -topology shifting-path # dynamic path adversary
 //	go run ./cmd/cadn -n 6 -T 4                    # 4-union-connected network
+//	go run ./cmd/cadn -n 24 -protocol linear       # full-information backend (Θ(n) rounds)
 //	go run ./cmd/cadn -n 6 -leaderless -inputs 0,0,1,1,1,2
 //	go run ./cmd/cadn -n 8 -halt                   # simultaneous termination
 //	go run ./cmd/cadn -n 6 -topology complete -faults spike:8:0   # reset-forcing fault plan
@@ -45,6 +46,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		n          = fs.Int("n", 8, "number of processes")
+		protocol   = fs.String("protocol", "congested", "counting backend: congested (O(log n)-bit messages) or linear (Θ(n) rounds, full-information messages)")
 		topology   = fs.String("topology", "random", "adversary: random, path, cycle, complete, star, rotating-star, shifting-path, bottleneck, isolator (adaptive)")
 		density    = fs.Float64("p", 0.3, "extra-edge probability for the random adversary")
 		seed       = fs.Int64("seed", 1, "adversary RNG seed")
@@ -70,7 +72,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	spec, err := buildSpec(*n, *topology, *density, *seed, *blockT,
+	spec, err := buildSpec(*n, *protocol, *topology, *density, *seed, *blockT,
 		*leaderless, *inputsFlag, *halt, *bitLimit, *fine, *batch, *keepAll, *eager, *scheduler,
 		*compact, *private, *arith, *faultsFlag, *faultSeed, *deadline)
 	if err != nil {
@@ -86,12 +88,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 // buildSpec assembles and validates the job spec described by the flags.
 // Any error it returns is a usage error (exit status 2).
-func buildSpec(n int, topology string, density float64, seed int64, blockT int,
+func buildSpec(n int, protocol, topology string, density float64, seed int64, blockT int,
 	leaderless bool, inputsFlag string, halt bool, bitLimit int,
 	fine bool, batch int, keepAll, eager bool, scheduler string,
 	compact, private bool, arith string, faultsSpec string, faultSeed int64, deadlineMS int) (service.JobSpec, error) {
 	spec := service.JobSpec{
 		N:          n,
+		Protocol:   protocol,
 		Topology:   topology,
 		Density:    density,
 		Seed:       seed,

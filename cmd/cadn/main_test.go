@@ -122,6 +122,7 @@ func TestRunTraceSummary(t *testing.T) {
 func TestValidateFlagCombinations(t *testing.T) {
 	type args struct {
 		n          int
+		protocol   string
 		topology   string
 		density    float64
 		seed       int64
@@ -138,13 +139,22 @@ func TestValidateFlagCombinations(t *testing.T) {
 		faultSeed  int64
 		deadlineMS int
 	}
-	ok := args{n: 4, topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential", arith: "modular"}
+	ok := args{n: 4, protocol: "congested", topology: "random", density: 0.3, seed: 1, blockT: 1, scheduler: "sequential", arith: "modular"}
 	tests := []struct {
 		name    string
 		mut     func(*args)
 		wantErr string
 	}{
 		{name: "valid-baseline", mut: func(a *args) {}, wantErr: ""},
+		{name: "linear-protocol-ok", mut: func(a *args) { a.protocol = "linear" }, wantErr: ""},
+		{name: "linear-leaderless-ok", mut: func(a *args) { a.protocol = "linear"; a.leaderless = true; a.inputs = "0,0,1,1" },
+			wantErr: ""},
+		{name: "unknown-protocol", mut: func(a *args) { a.protocol = "quantum" }, wantErr: "unknown protocol"},
+		{name: "linear-halt", mut: func(a *args) { a.protocol = "linear"; a.halt = true }, wantErr: "congested-only"},
+		{name: "linear-fine", mut: func(a *args) { a.protocol = "linear"; a.fine = true }, wantErr: "congested-only"},
+		{name: "linear-batch", mut: func(a *args) { a.protocol = "linear"; a.batch = 3 }, wantErr: "congested-only"},
+		{name: "linear-isolator", mut: func(a *args) { a.protocol = "linear"; a.topology = "isolator" },
+			wantErr: "isolator"},
 		{name: "negative-n", mut: func(a *args) { a.n = -4 }, wantErr: "n must be positive"},
 		{name: "zero-n", mut: func(a *args) { a.n = 0 }, wantErr: "n must be positive"},
 		{name: "unknown-topology", mut: func(a *args) { a.topology = "nonsense" }, wantErr: "unknown topology"},
@@ -181,7 +191,7 @@ func TestValidateFlagCombinations(t *testing.T) {
 		t.Run(tt.name, func(t *testing.T) {
 			a := ok
 			tt.mut(&a)
-			_, err := buildSpec(a.n, a.topology, a.density, a.seed, a.blockT,
+			_, err := buildSpec(a.n, a.protocol, a.topology, a.density, a.seed, a.blockT,
 				a.leaderless, a.inputs, a.halt, a.bitLimit, a.fine, a.batch, false, false, a.scheduler,
 				false, false, a.arith, a.faults, a.faultSeed, a.deadlineMS)
 			if tt.wantErr == "" {
@@ -197,6 +207,72 @@ func TestValidateFlagCombinations(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+// TestProtocolGoldenOutput pins the exact CLI output of both protocol
+// backends on one fixed seed — the user-visible face of the rounds-vs-bits
+// tradeoff. Multiset lines are map-ordered, so they are sorted before the
+// comparison; everything else must match byte for byte.
+func TestProtocolGoldenOutput(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "linear",
+			args: []string{"-n", "5", "-seed", "3", "-protocol", "linear"},
+			want: `n = 5
+input multiset:
+  0: 4
+  L:0: 1
+rounds=7 levels=7 resets=0 finalDiamEstimate=0
+messages=35 maxMessageBits=1680 totalBits=22984
+`,
+		},
+		{
+			name: "congested",
+			args: []string{"-n", "5", "-seed", "3", "-protocol", "congested"},
+			want: `n = 5
+input multiset:
+  0: 4
+  L:0: 1
+rounds=236 levels=2 resets=2 finalDiamEstimate=4
+messages=1180 maxMessageBits=32 totalBits=26280
+solver: calls=2 primes=2 crtRecons=1 evictions=0 witnessFalls=0
+sharing: applies=35 hits=131 forks=0
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := realMain(tt.args, &out, &errOut); code != 0 {
+				t.Fatalf("exit code %d (stderr: %s)", code, errOut.String())
+			}
+			got := strings.Split(out.String(), "\n")
+			// Lines 2 and 3 are the two multiset entries; order them.
+			if len(got) > 3 && got[2] > got[3] {
+				got[2], got[3] = got[3], got[2]
+			}
+			if joined := strings.Join(got, "\n"); joined != tt.want {
+				t.Fatalf("output mismatch:\n got: %q\nwant: %q", joined, tt.want)
+			}
+		})
+	}
+}
+
+// TestProtocolUsageError pins the exact stderr wording and exit status for
+// a protocol/flag conflict, the contract scripts probe for.
+func TestProtocolUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := realMain([]string{"-n", "4", "-protocol", "linear", "-halt"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	want := "cadn: invalid usage: halt is congested-only (the linear protocol has no Halt broadcast)\n"
+	if errOut.String() != want {
+		t.Fatalf("stderr %q, want %q", errOut.String(), want)
 	}
 }
 
@@ -217,6 +293,10 @@ func TestExitCodes(t *testing.T) {
 		{name: "usage-out-of-model-no-deadline", args: []string{"-n", "4", "-faults", "drop:1:0:1"}, want: 2},
 		{name: "runtime-watchdog", args: []string{"-n", "4", "-topology", "complete",
 			"-faults", "crash:0:2:0", "-deadline", "150"}, want: 1},
+		{name: "linear-success", args: []string{"-n", "4", "-protocol", "linear"}, want: 0},
+		{name: "unknown-protocol", args: []string{"-n", "4", "-protocol", "quantum"}, want: 2},
+		{name: "linear-halt", args: []string{"-n", "4", "-protocol", "linear", "-halt"}, want: 2},
+		{name: "linear-compact", args: []string{"-n", "4", "-protocol", "linear", "-compact"}, want: 2},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

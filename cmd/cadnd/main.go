@@ -55,6 +55,7 @@ func main() {
 		queue    = flag.Int("queue", 1024, "job-queue capacity")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 		storeDir = flag.String("store", "", "persistent result-store directory (empty disables; results then live only in memory)")
+		protocol = flag.String("protocol", "", "default counting backend for jobs that omit one: congested or linear (empty keeps the spec default, congested)")
 
 		coordinator = flag.Bool("coordinator", false, "run as cluster coordinator instead of a simulation backend")
 		backends    = flag.String("backends", "", "comma-separated backend addresses (coordinator mode; required)")
@@ -68,7 +69,7 @@ func main() {
 	if *coordinator {
 		err = serveCoordinator(*addr, *backends, *replicas, *vnodes, *inflight, *probe, *drain)
 	} else {
-		err = serve(*addr, *workers, *cache, *queue, *storeDir, *drain)
+		err = serve(*addr, *workers, *cache, *queue, *storeDir, *protocol, *drain)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cadnd:", err)
@@ -76,17 +77,18 @@ func main() {
 	}
 }
 
-func serve(addr string, workers, cache, queue int, storeDir string, drain time.Duration) error {
+func serve(addr string, workers, cache, queue int, storeDir, protocol string, drain time.Duration) error {
 	cacheCap := cache
 	if cacheCap == 0 {
 		cacheCap = -1 // ServerConfig treats 0 as "default", negative as off
 	}
 	srv, err := service.NewServer(service.ServerConfig{
-		Addr:      addr,
-		Workers:   workers,
-		CacheSize: cacheCap,
-		QueueSize: queue,
-		StoreDir:  storeDir,
+		Addr:            addr,
+		Workers:         workers,
+		CacheSize:       cacheCap,
+		QueueSize:       queue,
+		StoreDir:        storeDir,
+		DefaultProtocol: protocol,
 	})
 	if err != nil {
 		return err

@@ -81,8 +81,16 @@ func TestServeLifecycle(t *testing.T) {
 // TestServeBadAddr verifies that an unusable listen address surfaces as an
 // error instead of a hang.
 func TestServeBadAddr(t *testing.T) {
-	if err := serve("256.256.256.256:99999", 1, 1, 1, "", time.Second); err == nil {
+	if err := serve("256.256.256.256:99999", 1, 1, 1, "", "", time.Second); err == nil {
 		t.Fatal("expected listen error")
+	}
+}
+
+// TestServeBadProtocol verifies an unknown -protocol default is rejected
+// at boot instead of failing every submitted job.
+func TestServeBadProtocol(t *testing.T) {
+	if err := serve("127.0.0.1:0", 1, 1, 1, "", "quantum", time.Second); err == nil {
+		t.Fatal("expected protocol error")
 	}
 }
 

@@ -103,17 +103,26 @@ func TestEveryCliFlagIsDocumented(t *testing.T) {
 		path     string
 		minFlags int
 	}{
-		{filepath.Join("cmd", "cadn", "main.go"), 10},
-		{filepath.Join("cmd", "cadnd", "main.go"), 8},
+		{filepath.Join("cmd", "cadn", "main.go"), 20},
+		{filepath.Join("cmd", "cadnd", "main.go"), 12},
 	} {
 		flags := parseFlagNames(t, cmd.path)
 		if len(flags) < cmd.minFlags {
 			t.Fatalf("found only %d flags in %s — the parser is broken: %v", len(flags), cmd.path, flags)
 		}
+		// Both binaries must expose the protocol knob: cadn selects the
+		// backend per run, cadnd sets the fleet default for submitted jobs.
+		hasProtocol := false
 		for _, name := range flags {
+			if name == "protocol" {
+				hasProtocol = true
+			}
 			if !strings.Contains(text, "-"+name) {
 				t.Errorf("%s flag -%s is not mentioned in README.md", cmd.path, name)
 			}
+		}
+		if !hasProtocol {
+			t.Errorf("%s does not register a -protocol flag", cmd.path)
 		}
 	}
 }

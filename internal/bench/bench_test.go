@@ -43,8 +43,8 @@ func TestAllExperimentsRun(t *testing.T) {
 			}
 		})
 	}
-	if len(seen) != 14 {
-		t.Errorf("%d experiments, want 14", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("%d experiments, want 15", len(seen))
 	}
 }
 

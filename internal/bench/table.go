@@ -78,6 +78,7 @@ func All() []Experiment {
 		{ID: "E12", Name: "spanning-tree ablation (Section 3.4 design choice)", Run: func() (*Table, error) { return E12SpanningTreeAblation(nil) }},
 		{ID: "E13", Name: "batched-message tradeoff (Section 6)", Run: func() (*Table, error) { return E13BatchingTradeoff(nil) }},
 		{ID: "E14", Name: "strongly adaptive isolating adversary", Run: func() (*Table, error) { return E14AdaptiveAdversary(nil) }},
+		{ID: "E17", Name: "congested vs linear protocol tradeoff", Run: func() (*Table, error) { return E17ProtocolTradeoff(nil) }},
 	}
 }
 

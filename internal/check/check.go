@@ -167,6 +167,19 @@ func (c *Checker) Verify(res *core.RunResult) error {
 	return c.verifyLevels(res)
 }
 
+// VerifyAnswer compares a completed run's answer (count, multiset, or
+// leaderless frequencies) against ground truth computed directly from the
+// inputs, without requiring an attached recorder. It is the answer-only
+// subset of Verify for backends that do not emit recorder events — the
+// linear protocol in particular — and is what the cross-protocol
+// differential suite uses as its oracle on linear runs.
+func VerifyAnswer(inputs []historytree.Input, res *core.RunResult) error {
+	if res == nil {
+		return errors.New("check: nil RunResult")
+	}
+	return New(inputs).verifyAnswer(res)
+}
+
 // verifyAnswer compares the run's output with ground truth computed
 // directly from the inputs.
 func (c *Checker) verifyAnswer(res *core.RunResult) error {
@@ -177,14 +190,22 @@ func (c *Checker) verifyAnswer(res *core.RunResult) error {
 		return fmt.Errorf("check: counted %d processes, ground truth is %d", res.N, c.n)
 	}
 	if res.Multiset != nil {
+		// Zero-count classes are ignored on both sides: basic mode reports
+		// the pre-agreed {leader, non-leader} partition even when one class
+		// is empty (n = 1), and an empty class does not change the multiset.
 		want := c.groundTruthMultiset()
-		if len(res.Multiset) != len(want) {
-			return fmt.Errorf("check: multiset has %d classes, ground truth %d", len(res.Multiset), len(want))
-		}
-		for in, cnt := range want {
-			if res.Multiset[in] != cnt {
-				return fmt.Errorf("check: multiset[%v] = %d, ground truth %d", in, res.Multiset[in], cnt)
+		got := 0
+		for in, cnt := range res.Multiset {
+			if cnt == 0 {
+				continue
 			}
+			got++
+			if want[in] != cnt {
+				return fmt.Errorf("check: multiset[%v] = %d, ground truth %d", in, cnt, want[in])
+			}
+		}
+		if got != len(want) {
+			return fmt.Errorf("check: multiset has %d nonempty classes, ground truth %d", got, len(want))
 		}
 	}
 	return nil

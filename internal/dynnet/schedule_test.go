@@ -135,6 +135,68 @@ func TestRandomConnectedScheduleBornCanonical(t *testing.T) {
 	}
 }
 
+// TestRandomConnectedSparseMergeStream is the dedicated deep regression
+// for the n > 256 sparse/merge generator path: at a density high enough
+// that many of the n−1 tree edges coincide with Bernoulli extras, the
+// merge of the two link streams must (a) consume exactly the rand/v2
+// stream the contract pins (replayed below through Perm/IntN/Float64 on a
+// fresh PCG), (b) emit a strictly canonical link list with the
+// coinciding pairs folded into multiplicity-2 links rather than
+// duplicated, and (c) build the identical graph into dirty reused
+// storage via GraphInto.
+func TestRandomConnectedSparseMergeStream(t *testing.T) {
+	const (
+		n    = 320
+		p    = 0.5
+		seed = int64(29)
+	)
+	s := NewRandomConnected(n, p, seed)
+	dirty := NewMultigraph(3) // deliberately wrong size and stale contents
+	dirty.MustAddLink(0, 2, 7)
+	for _, round := range []int{1, 2, 17} {
+		g := s.Graph(round)
+
+		rng := randv2.New(randv2.NewPCG(uint64(seed), uint64(round)))
+		ref := NewMultigraph(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			ref.MustAddLink(perm[i], perm[rng.IntN(i)], 1)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					ref.MustAddLink(u, v, 1)
+				}
+			}
+		}
+		if got, want := g.String(), ref.String(); got != want {
+			t.Fatalf("round %d: sparse path diverged from the rand/v2 replay", round)
+		}
+
+		links := g.CanonicalLinks()
+		merged := 0
+		for i, l := range links {
+			if i > 0 && cmpLinks(links[i-1], l) >= 0 {
+				t.Fatalf("round %d: links not strictly canonical at %d: %v vs %v",
+					round, i, links[i-1], l)
+			}
+			if l.Mult > 1 {
+				merged++
+			}
+		}
+		// At p = 0.5 roughly half the 319 tree edges coincide with a
+		// Bernoulli extra; a merge-free round means the fold is broken.
+		if merged == 0 {
+			t.Fatalf("round %d: no multiplicity merges at n=%d p=%v — the tree/Bernoulli fold is dead", round, n, p)
+		}
+
+		s.GraphInto(round, dirty)
+		if got, want := dirty.String(), g.String(); got != want {
+			t.Fatalf("round %d: GraphInto into dirty storage diverged from Graph", round)
+		}
+	}
+}
+
 func TestRotatingStarSchedule(t *testing.T) {
 	s := NewRotatingStar(5)
 	for round := 1; round <= 10; round++ {

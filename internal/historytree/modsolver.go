@@ -235,7 +235,15 @@ collect:
 						overflow = true
 						break
 					}
-					sv := sums[c]
+					sv, ok := sums[c]
+					if !ok {
+						// A child with no basis descendants contributes
+						// nothing — the same silent drop fillRow performs on
+						// prefixes wrongly assumed complete (reachable only
+						// through full-information views, never through the
+						// congested protocol's completed VHT levels).
+						continue
+					}
 					for pi := 0; pi < np; pi++ {
 						mp := e.primes[pi].mp
 						term := mp.mul(mp.red(uint64(m)), sv[pi])

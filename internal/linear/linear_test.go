@@ -1,0 +1,175 @@
+package linear_test
+
+import (
+	"fmt"
+	"testing"
+
+	"anondyn/internal/core"
+	"anondyn/internal/dynnet"
+	"anondyn/internal/engine"
+	"anondyn/internal/historytree"
+	"anondyn/internal/linear"
+)
+
+// leaderIn builds n inputs with process 0 as the leader.
+func leaderIn(n int) []historytree.Input {
+	in := make([]historytree.Input, n)
+	in[0].Leader = true
+	return in
+}
+
+// valueIn builds n leaderless inputs with values i mod 2.
+func valueIn(n int) []historytree.Input {
+	in := make([]historytree.Input, n)
+	for i := range in {
+		in[i].Value = int64(i % 2)
+	}
+	return in
+}
+
+func TestLinearCountsTopologies(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for _, tc := range []struct {
+			name  string
+			sched dynnet.Schedule
+		}{
+			{"random", dynnet.NewRandomConnected(n, 0.3, int64(n))},
+			{"path", dynnet.NewStatic(dynnet.Path(n))},
+			{"complete", dynnet.NewStatic(dynnet.Complete(n))},
+			{"shifting-path", dynnet.NewShiftingPath(n)},
+		} {
+			t.Run(fmt.Sprintf("n=%d/%s", n, tc.name), func(t *testing.T) {
+				cfg := linear.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+				res, err := linear.Run(tc.sched, leaderIn(n), cfg, core.RunOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.N != n {
+					t.Fatalf("counted %d, want %d", res.N, n)
+				}
+				if res.Stats.TotalBits <= 0 || res.Stats.MaxMessageBits <= 0 {
+					t.Fatalf("missing bit accounting: %+v", res.Stats)
+				}
+			})
+		}
+	}
+}
+
+func TestLinearGeneralizedCounting(t *testing.T) {
+	inputs := []historytree.Input{
+		{Leader: true}, {Value: 1}, {Value: 1}, {Value: 2}, {Value: 2}, {Value: 2},
+	}
+	n := len(inputs)
+	cfg := linear.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+	res, err := linear.Run(dynnet.NewRandomConnected(n, 0.5, 8), inputs, cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != n {
+		t.Fatalf("counted %d, want %d", res.N, n)
+	}
+	if res.Multiset[historytree.Input{Value: 2}] != 3 || res.Multiset[historytree.Input{Leader: true}] != 1 {
+		t.Fatalf("multiset: %v", res.Multiset)
+	}
+}
+
+func TestLinearLeaderless(t *testing.T) {
+	n := 6
+	cfg := linear.Config{Mode: core.ModeLeaderless, DiamBound: n, MaxLevels: 3*n + 8}
+	res, err := linear.Run(dynnet.NewRandomConnected(n, 0.4, 11), valueIn(n), cfg, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Frequencies
+	if f == nil || !f.Known {
+		t.Fatalf("no frequencies: %+v", res)
+	}
+	// 3 zeros and 3 ones → shares 1:1 of minimal size 2.
+	if f.MinSize != 2 || f.Shares[historytree.Input{Value: 0}] != 1 || f.Shares[historytree.Input{Value: 1}] != 1 {
+		t.Fatalf("frequencies: %+v", f)
+	}
+}
+
+func TestLinearBlockSimulation(t *testing.T) {
+	n := 5
+	for _, T := range []int{2, 4} {
+		t.Run(fmt.Sprintf("T=%d", T), func(t *testing.T) {
+			inner := dynnet.NewRandomConnected(n, 0.5, int64(T)*101+3)
+			sched, err := dynnet.NewUnionConnected(inner, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := linear.Config{Mode: core.ModeLeader, BlockT: T, MaxLevels: 3*n + 8}
+			res, err := linear.Run(sched, leaderIn(n), cfg, core.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.N != n {
+				t.Fatalf("counted %d, want %d", res.N, n)
+			}
+		})
+	}
+}
+
+// TestLinearSchedulerEquivalence pins the scheduler contract for the new
+// backend: answers, rounds, levels and — thanks to the canonical view
+// serialization — every bit-accounting stat must be identical under all
+// three engine schedulers, even though interner ID assignment order is
+// not.
+func TestLinearSchedulerEquivalence(t *testing.T) {
+	n := 7
+	type key struct {
+		n, rounds, levels, maxBits int
+		totalMsgs, totalBits       int64
+	}
+	var want *key
+	for _, sched := range []engine.Scheduler{
+		engine.SchedulerSequential, engine.SchedulerParallel, engine.SchedulerConcurrent,
+	} {
+		cfg := linear.Config{Mode: core.ModeLeader, MaxLevels: 3*n + 8}
+		res, err := linear.Run(dynnet.NewRandomConnected(n, 0.3, 21), leaderIn(n), cfg,
+			core.RunOptions{Scheduler: sched})
+		if err != nil {
+			t.Fatalf("scheduler %d: %v", sched, err)
+		}
+		got := key{
+			n: res.N, rounds: res.Stats.Rounds, levels: res.Stats.Levels,
+			maxBits: res.Stats.MaxMessageBits, totalMsgs: res.Stats.TotalMessages,
+			totalBits: res.Stats.TotalBits,
+		}
+		if want == nil {
+			want = &got
+			continue
+		}
+		if got != *want {
+			t.Fatalf("scheduler %d diverged: %+v vs %+v", sched, got, *want)
+		}
+	}
+}
+
+func TestLinearConfigValidation(t *testing.T) {
+	n := 4
+	sched := dynnet.NewStatic(dynnet.Complete(n))
+	cases := []struct {
+		name   string
+		cfg    linear.Config
+		inputs []historytree.Input
+	}{
+		{"no-leader", linear.Config{Mode: core.ModeLeader}, make([]historytree.Input, n)},
+		{"two-leaders", linear.Config{Mode: core.ModeLeader}, func() []historytree.Input {
+			in := leaderIn(n)
+			in[1].Leader = true
+			return in
+		}()},
+		{"leaderless-with-leader", linear.Config{Mode: core.ModeLeaderless, DiamBound: n}, leaderIn(n)},
+		{"leaderless-no-diam", linear.Config{Mode: core.ModeLeaderless}, valueIn(n)},
+		{"zero-mode", linear.Config{}, leaderIn(n)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := linear.Run(sched, tc.inputs, tc.cfg, core.RunOptions{}); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

@@ -31,6 +31,7 @@ type Server struct {
 	http  *http.Server
 	ln    net.Listener
 	store *store.Store // owned when opened from StoreDir; nil otherwise
+	proto string       // DefaultProtocol, already normalized
 }
 
 // ServerConfig parameterizes NewServer. Zero values select sane defaults.
@@ -50,6 +51,11 @@ type ServerConfig struct {
 	// under the LRU, so cache hits survive restarts. The server owns the
 	// store and closes it on Shutdown.
 	StoreDir string
+	// DefaultProtocol, when non-empty, is applied to submitted specs that
+	// do not name a protocol themselves, before validation and hashing —
+	// a fleet can be pinned to the linear backend without every client
+	// spelling it. "congested" (the spec default) and "linear" are valid.
+	DefaultProtocol string
 }
 
 // NewServer binds the listen address and prepares the daemon, but does not
@@ -66,6 +72,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.QueueSize == 0 {
 		cfg.QueueSize = 1024
+	}
+	switch cfg.DefaultProtocol {
+	case "", "congested", "linear":
+	default:
+		return nil, fmt.Errorf("service: unknown default protocol %q (have congested, linear)", cfg.DefaultProtocol)
 	}
 	var st *store.Store
 	if cfg.StoreDir != "" {
@@ -86,6 +97,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		mgr:   NewManager(cfg.Workers, cfg.CacheSize, cfg.QueueSize),
 		mux:   http.NewServeMux(),
 		store: st,
+		proto: cfg.DefaultProtocol,
 	}
 	if st != nil {
 		s.mgr.AttachStore(st)
@@ -185,6 +197,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "decode job spec: %v", err)
 		return
+	}
+	if spec.Protocol == "" {
+		spec.Protocol = s.proto
 	}
 	job, err := s.mgr.Submit(spec)
 	switch {

@@ -30,6 +30,7 @@ import (
 	"anondyn/internal/engine"
 	"anondyn/internal/faults"
 	"anondyn/internal/historytree"
+	"anondyn/internal/linear"
 )
 
 // Topologies supported by JobSpec, in the order they are documented.
@@ -44,6 +45,17 @@ var Topologies = []string{
 type JobSpec struct {
 	// N is the number of processes.
 	N int `json:"n"`
+	// Protocol selects the counting backend: "" or "congested" for the
+	// PODC 2023 congested protocol (internal/core, O(T·n³ log n) rounds,
+	// O(log n)-bit messages), "linear" for the FOCS 2022 full-information
+	// protocol (internal/linear, Θ(T·n) rounds, messages growing to
+	// Θ(n³ log n) bits). Unlike Scheduler or Arithmetic this is a
+	// semantic knob: answers agree (pinned by the cross-protocol
+	// equivalence suite) but rounds and bit accounting differ, so the
+	// spec hash keeps it. The congested-only extensions (halt, fine,
+	// batch, keepAll, eager, compact, privatevht, the isolator adversary)
+	// are rejected under "linear".
+	Protocol string `json:"protocol,omitempty"`
 	// Topology selects the adversary (see Topologies). "isolator" is the
 	// strongly adaptive worst case; the rest are oblivious schedules.
 	Topology string `json:"topology,omitempty"`
@@ -119,6 +131,9 @@ type JobSpec struct {
 // Normalize fills defaulted fields in place so that equivalent specs hash
 // identically.
 func (s *JobSpec) Normalize() {
+	if s.Protocol == "congested" {
+		s.Protocol = "" // the default, spelled out
+	}
 	if s.Topology == "" {
 		s.Topology = "random"
 	}
@@ -175,6 +190,31 @@ func (s JobSpec) Validate() error {
 	}
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("maxRounds must be non-negative, got %d", s.MaxRounds)
+	}
+	if s.Protocol != "" && s.Protocol != "linear" {
+		return fmt.Errorf("unknown protocol %q (have congested, linear)", s.Protocol)
+	}
+	if s.Protocol == "linear" {
+		// The congested protocol's acknowledgment/reset machinery and its
+		// extensions have no counterpart in the full-information backend.
+		switch {
+		case s.Halt:
+			return fmt.Errorf("halt is congested-only (the linear protocol has no Halt broadcast)")
+		case s.Fine:
+			return fmt.Errorf("fine-grained resets are congested-only (the linear protocol has no resets)")
+		case s.Batch > 0:
+			return fmt.Errorf("batch is congested-only (the linear protocol already ships whole views)")
+		case s.KeepAll:
+			return fmt.Errorf("keepAll is congested-only (the linear protocol has no virtual network)")
+		case s.Eager:
+			return fmt.Errorf("eager is congested-only (the linear protocol has no confirmation window)")
+		case s.CompactVHT:
+			return fmt.Errorf("compact is congested-only (linear views must stay whole to be broadcast)")
+		case s.PrivateVHT:
+			return fmt.Errorf("privatevht is congested-only (the linear protocol always shares one interner)")
+		case s.Topology == "isolator":
+			return fmt.Errorf("the isolator adversary targets the congested protocol's leader; protocol linear unsupported")
+		}
 	}
 	if s.Scheduler != "" && s.Scheduler != "parallel" && s.Scheduler != "concurrent" {
 		return fmt.Errorf("unknown scheduler %q (have sequential, parallel, concurrent)", s.Scheduler)
@@ -234,6 +274,10 @@ func (s JobSpec) Hash() string {
 	s.Arithmetic = ""
 	s.CompactVHT = false
 	s.PrivateVHT = false
+	// Protocol stays in the hash: both protocols return the same answer
+	// (the cross-protocol equivalence suite pins that), but the cached
+	// Result also carries rounds and bit accounting, which differ
+	// radically between them — one cache entry cannot serve both.
 	// The deadline only decides when a non-terminating run is abandoned;
 	// completed results are independent of it, and failed runs are never
 	// cached, so it must not fragment the cache either. Faults and
@@ -320,6 +364,25 @@ func (s JobSpec) config() core.Config {
 	return cfg
 }
 
+// linearConfig derives the linear-protocol configuration. The service
+// convention DiamBound = N·BlockT carries over from leaderless congested
+// runs, and so does the MaxLevels divergence guard.
+func (s JobSpec) linearConfig() linear.Config {
+	cfg := linear.Config{
+		Mode:      core.ModeLeader,
+		BlockT:    s.BlockT,
+		MaxLevels: 3*s.N + 8,
+	}
+	if s.Arithmetic == "big" {
+		cfg.Arithmetic = historytree.ArithBig
+	}
+	if s.Leaderless {
+		cfg.Mode = core.ModeLeaderless
+		cfg.DiamBound = s.N * s.BlockT
+	}
+	return cfg
+}
+
 // Run validates the spec and executes the simulation it describes,
 // cancellable through ctx. The trace hook (may be nil) observes every
 // round's sent messages — the daemon uses it to stream per-round progress.
@@ -364,6 +427,9 @@ func (s JobSpec) Run(ctx context.Context, traceHook func(round int, sent []engin
 	}
 	if plan != nil {
 		sched = plan.Wrap(sched)
+	}
+	if s.Protocol == "linear" {
+		return linear.Run(sched, s.inputs(), s.linearConfig(), opts)
 	}
 	return core.Run(sched, s.inputs(), s.config(), opts)
 }
